@@ -1,0 +1,106 @@
+"""Ablation — affinity-informed re-dispatch (§3.1).
+
+"...performance counter data used to predict the state of each core's
+caches and provide good scheduling affinity."
+
+The prototype's FIFO policy re-dispatches a preempted request to *any*
+worker ("not necessarily the worker that handled it first", §3.4.1),
+paying a cold context restore on migration.  An informed NIC can
+instead prefer the previous worker when it has credit.  This bench runs
+a preemption-heavy workload (fixed 45 µs requests under a 10 µs slice:
+four preemptions each) through both policies and reports the warm-
+restore rate and the tail.
+
+The per-request saving is sub-microsecond, so the headline here is the
+*mechanism* (most restores become warm at no work-conservation cost),
+not a large latency delta.  The policy only takes the previous worker
+when it is idle, so its opportunity is largest at light-to-moderate
+load — the regime this bench runs in.
+"""
+
+from conftest import emit
+
+from repro.config import PreemptionConfig, ShinjukuOffloadConfig
+from repro.core.policy import CacheAffinityPolicy, CentralizedFifoPolicy
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.experiments.report import render_table
+from repro.systems.shinjuku_offload import ShinjukuOffloadSystem
+from repro.units import ms, us
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.distributions import Fixed
+from repro.workload.generator import OpenLoopLoadGenerator
+
+LOAD = 25e3  # ~30% of 4 workers at 45 us: previous workers often idle
+SERVICE = Fixed(us(45.0))
+
+
+def _run(policy, config):
+    sim = Simulator()
+    rngs = RngRegistry(config.seed)
+    collector = MetricsCollector(sim, warmup_ns=config.warmup_ns)
+    system = ShinjukuOffloadSystem(
+        sim, rngs, collector,
+        config=ShinjukuOffloadConfig(
+            workers=4, outstanding_per_worker=2,
+            preemption=PreemptionConfig(time_slice_ns=us(10.0))),
+        policy=policy)
+    system.start()
+    generator = OpenLoopLoadGenerator(
+        sim, system.ingress, PoissonArrivals(LOAD), rngs, collector,
+        horizon_ns=config.horizon_ns, distribution=SERVICE)
+    generator.start()
+    sim.run(until=config.horizon_ns, max_events=config.max_events)
+    run = collector.summarize(offered_rps=LOAD)
+    warm = sum(w.warm_restores for w in system.workers)
+    restores = sum(r for w in system.workers
+                   for r in [w.preempted])  # restores ~= redispatches
+    return run, warm, restores
+
+
+def test_affinity_ablation(benchmark, run_config, scale):
+    config = run_config.scaled(max(scale, 0.8))
+
+    def sweep():
+        fifo = _run(CentralizedFifoPolicy(), config)
+        affinity_policy = CacheAffinityPolicy()
+        affinity = _run(affinity_policy, config)
+        return fifo, affinity, affinity_policy
+
+    fifo, affinity, policy = benchmark.pedantic(sweep, rounds=1,
+                                                iterations=1)
+    fifo_run, fifo_warm, fifo_redispatch = fifo
+    affinity_run, affinity_warm, affinity_redispatch = affinity
+
+    def warm_rate(warm, redispatch):
+        return warm / redispatch if redispatch else 0.0
+
+    emit(render_table(
+        ["policy", "p99 (us)", "warm-restore rate", "preemptions"],
+        [("FIFO re-dispatch (prototype)",
+          f"{fifo_run.latency.p99_ns / 1e3:.1f}",
+          f"{warm_rate(fifo_warm, fifo_redispatch):.0%}",
+          str(fifo_run.preemptions)),
+         ("affinity-informed re-dispatch",
+          f"{affinity_run.latency.p99_ns / 1e3:.1f}",
+          f"{warm_rate(affinity_warm, affinity_redispatch):.0%}",
+          str(affinity_run.preemptions))],
+        title="== ablation: §3.1 scheduling affinity, fixed 45us under "
+              f"a 10us slice @ {LOAD / 1e3:.0f}k RPS =="))
+    emit(f"affinity hits: {policy.affinity_hits}, "
+         f"fallbacks: {policy.fallbacks}")
+
+    # The informed policy converts most restores to warm ones.  FIFO
+    # lands on the previous worker ~1/workers of the time by chance
+    # (~20-25% at 4 workers); affinity triples that — bounded below
+    # 100% because the preempted request re-queues at the FIFO tail
+    # and its old worker is sometimes busy when it resurfaces.
+    assert warm_rate(affinity_warm, affinity_redispatch) > \
+        warm_rate(fifo_warm, fifo_redispatch) + 0.3
+    assert warm_rate(affinity_warm, affinity_redispatch) > 0.6
+    assert policy.affinity_hits > 0
+    # ...without hurting the tail (work conservation is preserved).
+    assert affinity_run.latency.p99_ns <= fifo_run.latency.p99_ns * 1.10
+    assert affinity_run.throughput.achieved_rps >= \
+        0.95 * fifo_run.throughput.achieved_rps

@@ -1,0 +1,100 @@
+"""Ablation — NIC<->host communication latency (§5.1-2).
+
+"There should be low communication overhead between the dispatcher and
+workers. ... The latency is hidden by the queuing optimization, but the
+dispatcher cannot do as fine-grained scheduling, causing higher tail
+latency."  CXL-class links promise "a few hundred nanoseconds to a
+microsecond" one-way.
+
+This bench sweeps only the one-way latency (everything else stays at
+prototype values) and reports, per latency point:
+
+- p99 at a moderate fixed-1 µs load with a small outstanding target
+  (k=2), where the round trip is *not* fully hidden; and
+- the minimum outstanding target k needed to reach 95% of the k=5
+  plateau — the latency-hiding pressure §3.4.5 exists to relieve.
+
+The dispatcher's DPDK TX batching is disabled throughout so the wire
+latency is the only variable (its drain timer otherwise adds a constant
+~6 µs to every lightly-loaded round trip).
+"""
+
+from conftest import emit
+
+from repro.config import (
+    ArmCosts,
+    PreemptionConfig,
+    ShinjukuOffloadConfig,
+    StingrayConfig,
+)
+from repro.experiments.harness import measure_capacity, run_point
+from repro.experiments.report import render_table
+from repro.systems.shinjuku_offload import ShinjukuOffloadSystem
+from repro.units import us
+from repro.workload.distributions import Fixed
+
+LATENCIES_NS = [2560.0, 1280.0, 640.0, 300.0]
+NO_PREEMPTION = PreemptionConfig(time_slice_ns=None)
+
+
+#: ARM costs with the DPDK TX drain timer disabled: batching adds its
+#: own ~6 µs to every lightly-loaded round trip and would mask the wire
+#: latency this ablation isolates.
+_NO_BATCH_COSTS = ArmCosts(tx_batch_size=1, tx_flush_timeout_ns=0.0)
+
+
+def _factory(latency_ns, outstanding):
+    nic = StingrayConfig(one_way_latency_ns=latency_ns,
+                         costs=_NO_BATCH_COSTS)
+
+    def make(sim, rngs, metrics):
+        return ShinjukuOffloadSystem(
+            sim, rngs, metrics,
+            config=ShinjukuOffloadConfig(
+                workers=4, outstanding_per_worker=outstanding,
+                preemption=NO_PREEMPTION, nic=nic))
+    return make
+
+
+def _k_needed(latency_ns, run_config):
+    """Smallest k reaching 95% of the k=5 plateau."""
+    plateau = measure_capacity(_factory(latency_ns, 5), Fixed(us(1.0)),
+                               overload_rps=2e6, config=run_config)
+    for k in (1, 2, 3, 4, 5):
+        capacity = measure_capacity(_factory(latency_ns, k), Fixed(us(1.0)),
+                                    overload_rps=2e6, config=run_config)
+        if capacity >= 0.95 * plateau:
+            return k
+    return 5
+
+
+def test_comm_latency_ablation(benchmark, run_config, scale):
+    config = run_config.scaled(scale)
+
+    def sweep():
+        rows = []
+        for latency in LATENCIES_NS:
+            point = run_point(_factory(latency, 2), 300e3, Fixed(us(1.0)),
+                              config)
+            rows.append((latency, point.latency.p99_ns / 1e3,
+                         _k_needed(latency, config)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(render_table(
+        ["one-way (ns)", "p99 @300k, k=2 (us)", "k for 95% plateau"],
+        [(f"{lat:.0f}", f"{p99:.1f}", str(k)) for lat, p99, k in rows],
+        title="== ablation: NIC<->host one-way latency (Stingray 2560 ns "
+              "-> CXL-class 300 ns) =="))
+
+    p99s = [p99 for _lat, p99, _k in rows]
+    ks = [k for _lat, _p99, k in rows]
+    # Lower latency: never-worse tail, strictly better end-to-end.
+    assert p99s[-1] < p99s[0] - 2.0  # >= 2 us saved at the tail
+    for a, b in zip(p99s, p99s[1:]):
+        assert b <= a * 1.05
+    # Lower latency needs fewer outstanding requests (§5.2's point that
+    # CXL would let Offload keep fewer requests per core).
+    assert ks[-1] <= ks[0]
+    assert ks[0] >= 3   # the Stingray needs real latency hiding
+    assert ks[-1] <= 2  # the CXL-class NIC barely needs any

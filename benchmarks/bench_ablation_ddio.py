@@ -1,0 +1,66 @@
+"""Ablation — DDIO payload placement (§5.2).
+
+"Shinjuku's scheduling algorithm guarantees that at most one request is
+in-flight at any time on each core ... a NIC that uses this algorithm
+can place network packets even into the L1 cache without danger of
+filling it."
+
+This bench quantifies the worker's first-touch cost of a request
+payload for each placement an informed or uninformed NIC can achieve,
+and shows the pollution guard: an uninformed NIC keeping k=5 requests
+outstanding cannot hold them all in L1.
+"""
+
+from conftest import emit
+
+from repro.experiments.report import render_table
+from repro.hw.cache import CacheHierarchy, CacheLevel, DdioModel
+from repro.units import us
+
+PAYLOAD_SIZES = [64, 256, 1024]
+
+
+def test_ddio_placement_ablation(benchmark):
+    hierarchy = CacheHierarchy()
+
+    def sweep():
+        rows = []
+        for size in PAYLOAD_SIZES:
+            dram = hierarchy.read_cost_ns(size, CacheLevel.DRAM)
+            llc = hierarchy.read_cost_ns(size, CacheLevel.LLC)
+            l1 = hierarchy.read_cost_ns(size, CacheLevel.L1)
+            remote = hierarchy.read_cost_ns(size, CacheLevel.REMOTE_LLC)
+            rows.append((size, dram, llc, l1, remote))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(render_table(
+        ["payload (B)", "no DDIO: DRAM (ns)", "DDIO: LLC (ns)",
+         "informed NIC: L1 (ns)", "wrong socket (ns)"],
+        [(str(size), f"{dram:.1f}", f"{llc:.1f}", f"{l1:.1f}",
+          f"{remote:.1f}")
+         for size, dram, llc, l1, remote in rows],
+        title="== ablation: DDIO placement — worker first-touch cost =="))
+
+    for _size, dram, llc, l1, remote in rows:
+        # The §5.2 ordering: L1 < LLC < DRAM < remote-socket LLC.
+        assert l1 < llc < dram < remote
+
+    # For a 1 KiB request the L1-vs-DRAM gap is a meaningful slice of a
+    # 1 us request's budget (the regime Figures 3/6 live in).
+    _size, dram_1k, _llc, l1_1k, _remote = rows[-1]
+    saving = dram_1k - l1_1k
+    emit(f"1 KiB payload: L1 placement saves {saving:.0f} ns/request "
+         f"({saving / us(1.0):.0%} of a 1 us request)")
+    assert saving > 0.2 * us(1.0)
+
+    # The pollution guard: with the informed NIC's one-in-flight
+    # guarantee, every payload lands in L1; an uninformed NIC keeping
+    # 5 outstanding spills all but the first to L2.
+    informed = DdioModel(placement=CacheLevel.L1, l1_capacity_requests=1)
+    assert informed.place(in_flight_at_core=0) is CacheLevel.L1
+    uninformed_spills = [
+        DdioModel(placement=CacheLevel.L1,
+                  l1_capacity_requests=1).place(in_flight_at_core=k)
+        for k in range(1, 5)]
+    assert all(level is CacheLevel.L2 for level in uninformed_spills)

@@ -1,0 +1,101 @@
+"""Ablation — dispatcher hardware speed (§5.1-1).
+
+"The hardware needs to support line-rate scheduling.  The ARM cores are
+too slow to schedule requests at line rate ... an FPGA or ASIC is a
+better fit."
+
+Sweeps the dispatcher pipeline's per-op costs from the calibrated ARM
+values down to ASIC-class, holding everything else (including the
+2.56 µs wire) fixed, and measures the Figure 6 configuration's
+saturation throughput.  The claim to reproduce: the Figure 6 bottleneck
+is the dispatcher, so speeding only it up recovers most of vanilla
+Shinjuku's advantage.
+"""
+
+from conftest import emit
+
+import repro.config as config_mod
+from repro.config import (
+    ArmCosts,
+    PreemptionConfig,
+    ShinjukuConfig,
+    ShinjukuOffloadConfig,
+    StingrayConfig,
+)
+from repro.experiments.harness import measure_capacity
+from repro.experiments.report import render_table
+from repro.systems.shinjuku import ShinjukuSystem
+from repro.systems.shinjuku_offload import ShinjukuOffloadSystem
+from repro.units import us
+from repro.workload.distributions import Fixed
+
+NO_PREEMPTION = PreemptionConfig(time_slice_ns=None)
+#: Scale factors over the ARM per-op costs: 1.0 = Stingray ARM,
+#: 0.1 = fast NPU, 0.02 = ASIC-class.
+SPEED_FACTORS = [1.0, 0.5, 0.1, 0.02]
+
+
+def _offload_factory(factor):
+    base = ArmCosts()
+    costs = ArmCosts(
+        networker_pkt_ns=base.networker_pkt_ns * factor,
+        queue_op_ns=base.queue_op_ns * factor,
+        packet_tx_ns=base.packet_tx_ns * factor,
+        packet_rx_ns=base.packet_rx_ns * factor,
+        intercore_hop_ns=base.intercore_hop_ns * factor,
+        # Faster hardware also sheds the DPDK drain-timer batching.
+        tx_batch_size=1 if factor < 1.0 else base.tx_batch_size,
+        tx_flush_timeout_ns=0.0 if factor < 1.0
+        else base.tx_flush_timeout_ns,
+    )
+    nic = config_mod.replace(StingrayConfig(), costs=costs)
+
+    def make(sim, rngs, metrics):
+        return ShinjukuOffloadSystem(
+            sim, rngs, metrics,
+            config=ShinjukuOffloadConfig(
+                workers=16, outstanding_per_worker=5,
+                preemption=NO_PREEMPTION, nic=nic))
+    return make
+
+
+def _shinjuku_factory(sim, rngs, metrics):
+    return ShinjukuSystem(
+        sim, rngs, metrics,
+        config=ShinjukuConfig(workers=15, preemption=NO_PREEMPTION))
+
+
+def test_dispatcher_speed_ablation(benchmark, run_config, scale):
+    config = run_config.scaled(scale)
+
+    def sweep():
+        rows = []
+        for factor in SPEED_FACTORS:
+            capacity = measure_capacity(_offload_factory(factor),
+                                        Fixed(us(1.0)), overload_rps=8e6,
+                                        config=config)
+            rows.append((factor, capacity))
+        shinjuku_capacity = measure_capacity(_shinjuku_factory,
+                                             Fixed(us(1.0)),
+                                             overload_rps=8e6,
+                                             config=config)
+        return rows, shinjuku_capacity
+
+    (rows, shinjuku_capacity) = benchmark.pedantic(sweep, rounds=1,
+                                                   iterations=1)
+    emit(render_table(
+        ["dispatcher speed", "offload capacity (M RPS)"],
+        [(f"{f:g}x ARM cost", f"{cap / 1e6:.2f}") for f, cap in rows]
+        + [("(vanilla Shinjuku)", f"{shinjuku_capacity / 1e6:.2f}")],
+        title="== ablation: dispatcher hardware speed, Figure 6 config "
+              "(fixed 1us, 16 workers) =="))
+
+    capacities = [cap for _f, cap in rows]
+    # Monotone: faster dispatcher, more throughput.
+    for slower, faster in zip(capacities, capacities[1:]):
+        assert faster >= slower * 0.98
+    # The ARM point reproduces the Figure 6 ceiling (~1.5 M RPS).
+    assert capacities[0] < 2e6
+    # ASIC-class dispatch removes the bottleneck: at least 3x the ARM
+    # plateau even with the 2.56 us wire still in place.
+    assert capacities[-1] > 3.0 * capacities[0]

@@ -1,0 +1,105 @@
+"""Baseline comparison — §2.2's fundamental scheduling problems.
+
+Runs every §2.1 system on the same hardware budget (4 worker cores)
+under a dispersive workload (millisecond stragglers in microsecond
+traffic) and regenerates the qualitative ordering §2.2 argues:
+
+    RSS (imbalance + HoL) > stealing (imbalance fixed, HoL remains)
+        > central queue (no imbalance, HoL remains)
+        > centralized + preemptive (both fixed)
+
+plus MICA-style key partitioning, whose tail depends on key skew.
+"""
+
+from conftest import emit
+
+from repro.config import PreemptionConfig, ShinjukuConfig
+from repro.experiments.harness import run_point
+from repro.experiments.report import render_table
+from repro.systems.mica_system import MicaSystem, MicaSystemConfig
+from repro.systems.rpcvalet import RpcValetConfig, RpcValetSystem
+from repro.systems.rss_system import RssSystem, RssSystemConfig
+from repro.systems.shinjuku import ShinjukuSystem
+from repro.systems.workstealing import WorkStealingConfig, WorkStealingSystem
+from repro.units import us
+from repro.workload.distributions import Bimodal
+
+WORKERS = 4
+LOAD = 500e3  # ~82% utilization of the 4 workers
+HARSH = Bimodal(us(1.0), us(1000.0), 0.005)
+
+
+def _factories():
+    def rss(sim, rngs, metrics):
+        return RssSystem(sim, rngs, metrics,
+                         config=RssSystemConfig(workers=WORKERS))
+
+    def stealing(sim, rngs, metrics):
+        return WorkStealingSystem(
+            sim, rngs, metrics,
+            config=WorkStealingConfig(workers=WORKERS))
+
+    def mica(sim, rngs, metrics):
+        return MicaSystem(sim, rngs, metrics,
+                          config=MicaSystemConfig(workers=WORKERS))
+
+    def rpcvalet(sim, rngs, metrics):
+        return RpcValetSystem(sim, rngs, metrics,
+                              config=RpcValetConfig(workers=WORKERS))
+
+    def shinjuku(sim, rngs, metrics):
+        return ShinjukuSystem(
+            sim, rngs, metrics,
+            config=ShinjukuConfig(
+                workers=WORKERS,
+                preemption=PreemptionConfig(time_slice_ns=us(10.0))))
+
+    return {
+        "IX-style RSS d-FCFS": rss,
+        "ZygOS-style stealing": stealing,
+        "MICA-style key-partitioned": mica,
+        "RPCValet-style central queue": rpcvalet,
+        "Shinjuku (centralized+preemptive)": shinjuku,
+    }
+
+
+def test_baselines_under_dispersion(benchmark, run_config, scale):
+    # Straggler episodes need ~30 slow arrivals in the window to show
+    # up reliably in p99; never shrink the window below 12 ms.
+    from repro.experiments.harness import RunConfig
+    from repro.units import ms
+    config = RunConfig(seed=run_config.seed,
+                       horizon_ns=max(ms(12.0), ms(25.0) * scale),
+                       warmup_ns=max(ms(2.0), ms(3.0) * scale))
+
+    def sweep():
+        return {name: run_point(factory, LOAD, HARSH, config)
+                for name, factory in _factories().items()}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(render_table(
+        ["system", "p99 (us)", "p50 (us)", "preemptions"],
+        [(name,
+          f"{run.latency.p99_ns / 1e3:.1f}",
+          f"{run.latency.p50_ns / 1e3:.1f}",
+          str(run.preemptions))
+         for name, run in results.items()],
+        title=f"== baselines under dispersion: 1us/1000us bimodal "
+              f"(0.5% slow) @ {LOAD / 1e3:.0f}k RPS, {WORKERS} workers =="))
+
+    p99 = {name: run.latency.p99_ns for name, run in results.items()}
+
+    # §2.2-1: stealing alleviates RSS imbalance.
+    assert p99["ZygOS-style stealing"] < p99["IX-style RSS d-FCFS"]
+    # §2.2-1: a global queue eliminates it entirely.
+    assert p99["RPCValet-style central queue"] < \
+        p99["ZygOS-style stealing"]
+    # §2.2-2: only preemption bounds the tail under dispersion.
+    assert p99["Shinjuku (centralized+preemptive)"] < \
+        p99["RPCValet-style central queue"]
+    # The preemptive system holds the fast class near the slice scale.
+    assert p99["Shinjuku (centralized+preemptive)"] < us(300.0)
+    # Every non-preemptive system sits an order of magnitude above it.
+    for name, value in p99.items():
+        if name != "Shinjuku (centralized+preemptive)":
+            assert value > 2.0 * p99["Shinjuku (centralized+preemptive)"]

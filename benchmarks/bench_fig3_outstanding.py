@@ -1,0 +1,52 @@
+"""Figure 3 — throughput vs outstanding requests (§3.4.5).
+
+Paper setup: fixed 1 µs service time, Shinjuku-Offload with 4 and 16
+workers, outstanding requests swept 1..7, preemption off.
+
+Paper numbers: 4 workers gain +250% from 1 to 5 outstanding and level
+out at 5; 16 workers gain +88% from 1 to 3 and level out at 3.
+
+Shape criteria:
+- throughput rises monotonically (within noise) and plateaus;
+- the 4-worker configuration has the larger relative gain;
+- the 16-worker knee comes earlier than the 4-worker knee;
+- the 16-worker plateau is the higher one (dispatcher-bound ~1.5 M RPS).
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import figure3
+from repro.experiments.report import render_figure
+
+
+def test_figure3_outstanding(benchmark, run_config, scale):
+    result = benchmark.pedantic(
+        lambda: figure3(config=run_config, scale=scale),
+        rounds=1, iterations=1)
+    emit(render_figure(result))
+
+    by_label = {s.label: s for s in result.series}
+    four = by_label["4 workers"]
+    sixteen = by_label["16 workers"]
+
+    gain4 = four.ys[4] / four.ys[0]       # k=1 -> k=5 (paper: +250%)
+    gain16 = sixteen.ys[2] / sixteen.ys[0]  # k=1 -> k=3 (paper: +88%)
+    emit(f"gain 4w (1->5): {gain4 - 1:+.0%} (paper +250%); "
+         f"gain 16w (1->3): {gain16 - 1:+.0%} (paper +88%)")
+
+    # Monotone-then-plateau for both (allow 5% measurement noise).
+    for series in (four, sixteen):
+        for a, b in zip(series.ys, series.ys[1:]):
+            assert b >= 0.95 * a
+
+    # 4 workers gain more, in both absolute ratio and paper spirit.
+    assert gain4 > gain16 > 1.0
+    assert gain4 > 2.0  # a multi-x gain, not marginal
+
+    # The 16-worker plateau exceeds the 4-worker plateau.
+    assert sixteen.ys[-1] > four.ys[-1]
+
+    # 16 workers level out earlier: by k=3 they are within 5% of their
+    # plateau; 4 workers are still >10% below theirs at k=3.
+    assert sixteen.ys[2] >= 0.95 * sixteen.ys[-1]
+    assert four.ys[2] < 0.90 * four.ys[-1]

@@ -1,0 +1,33 @@
+"""Figure 4 — fixed 5 µs service time, no preemption.
+
+Paper setup: Shinjuku has 3 workers, Shinjuku-Offload has 4 (up to 4
+outstanding requests); preemption is off for fixed workloads.
+
+Shape criterion: "Shinjuku-Offload outperforms Shinjuku as
+Shinjuku-Offload has an extra worker, since its networking subsystem
+and dispatcher are running on the SmartNIC."
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_figure
+
+
+def test_figure4_fixed_5us(benchmark, run_config, scale):
+    result = benchmark.pedantic(
+        lambda: figure4(config=run_config, scale=scale),
+        rounds=1, iterations=1)
+    emit(render_figure(result))
+
+    by_name = {s.system_name: s for s in result.sweeps}
+    shinjuku = by_name["Shinjuku"]
+    offload = by_name["Shinjuku-Offload"]
+
+    # The offload's extra worker buys it a higher saturation point.
+    assert offload.max_achieved_rps() > 1.03 * shinjuku.max_achieved_rps()
+
+    # At light load, both serve with p99 below 50 us (no stragglers in
+    # a fixed workload).
+    assert shinjuku.points[0].p99_ns < 50_000.0
+    assert offload.points[0].p99_ns < 50_000.0

@@ -1,0 +1,36 @@
+"""Figure 5 — fixed 100 µs service time.
+
+Paper setup: Shinjuku has 15 workers, Shinjuku-Offload has 16 (up to 2
+outstanding requests); preemption off.
+
+Shape criterion: "Shinjuku-Offload outperforms Shinjuku for a large
+number of workers when the request service time is large" — long
+requests amortize the NIC's slow communication path, so the extra
+worker wins.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import figure5
+from repro.experiments.report import render_figure
+
+
+def test_figure5_fixed_100us(benchmark, run_config, scale):
+    result = benchmark.pedantic(
+        lambda: figure5(config=run_config, scale=scale),
+        rounds=1, iterations=1)
+    emit(render_figure(result))
+
+    by_name = {s.system_name: s for s in result.sweeps}
+    shinjuku = by_name["Shinjuku"]
+    offload = by_name["Shinjuku-Offload"]
+
+    # Offload sustains more load (its 16th worker ~= +6.7% capacity).
+    assert offload.max_achieved_rps() > 1.02 * shinjuku.max_achieved_rps()
+
+    # Latency floors sit at the service-time scale (~100 us).
+    assert shinjuku.points[0].p99_ns > 100_000.0
+    assert offload.points[0].p99_ns > 100_000.0
+
+    # At the shared heaviest rate, Offload's tail is no worse.
+    assert offload.points[-1].p99_ns <= shinjuku.points[-1].p99_ns

@@ -1,0 +1,42 @@
+"""Figure 6 — fixed 1 µs service time: the dispatcher bottleneck.
+
+Paper setup: Shinjuku has 15 workers, Shinjuku-Offload has 16 (up to 5
+outstanding requests); preemption off.
+
+Shape criteria: "Shinjuku greatly outperforms Shinjuku-Offload.  ...
+The Shinjuku-Offload dispatcher is a bottleneck since (1) it runs on
+the slower ARM CPU and (2) there is much higher communication overhead"
+and "the Shinjuku-Offload workers spend 110% more time waiting for work
+from the dispatcher" between the two systems' saturation points.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import figure6
+from repro.experiments.report import render_figure
+
+
+def test_figure6_fixed_1us(benchmark, run_config, scale):
+    result = benchmark.pedantic(
+        lambda: figure6(config=run_config, scale=scale),
+        rounds=1, iterations=1)
+    emit(render_figure(result))
+
+    by_name = {s.system_name: s for s in result.sweeps}
+    shinjuku = by_name["Shinjuku"]
+    offload = by_name["Shinjuku-Offload"]
+
+    # Shinjuku greatly outperforms: >= 2x the saturation throughput.
+    assert shinjuku.max_achieved_rps() > 2.0 * offload.max_achieved_rps()
+
+    # The offload plateau sits near the ARM packet-TX ceiling (~1.5 M).
+    assert 1.0e6 < offload.max_achieved_rps() < 2.0e6
+
+    # Worker wait-time gap at the shared heaviest offered rate (both
+    # saturated there): offload workers wait far more.
+    offload_wait = offload.points[-1].metrics.worker_wait_fraction
+    shinjuku_wait = shinjuku.points[-1].metrics.worker_wait_fraction
+    emit(f"worker wait at saturation: offload={offload_wait:.1%} "
+         f"shinjuku={shinjuku_wait:.1%} "
+         f"(paper: offload waits 110% more)")
+    assert offload_wait > 1.2 * shinjuku_wait

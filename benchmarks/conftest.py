@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark suite.
+
+Every ``bench_fig*.py`` regenerates one paper figure at full scale and
+prints the same series the paper plots.  ``REPRO_BENCH_SCALE`` (a float
+env var, default 0.6) scales simulation horizons: 1.0 gives the
+smoothest curves, smaller values run faster with more sampling noise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.experiments.harness import RunConfig
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+
+
+@pytest.fixture(scope="session")
+def run_config() -> RunConfig:
+    """The base per-point run configuration for benches."""
+    return RunConfig(seed=42)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+def emit(text: str) -> None:
+    """Print bench results so they are visible even under capture.
+
+    Regenerated figure/table series are the whole point of a bench run,
+    so they go to the real stdout (bypassing pytest's capture of
+    passing tests) as well as to the captured stream (so failures show
+    them in context).
+    """
+    print()
+    print(text)
+    if sys.stdout is not sys.__stdout__:
+        print(file=sys.__stdout__)
+        print(text, file=sys.__stdout__)
+        sys.__stdout__.flush()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Projecting the §3.1 / §5.1 ideal SmartNIC.
+
+The paper closes by asking for three hardware fixes: line-rate
+scheduling, a CXL-class coherent path to the host, and direct
+interrupts.  This example stacks them up, starting from the calibrated
+Stingray prototype, on the Figure 6 configuration (fixed 1 µs, 16
+workers) — the case the prototype loses — and shows each fix's
+contribution to closing the gap with vanilla Shinjuku.
+
+Run:  python examples/ideal_nic_projection.py
+"""
+
+from repro import (
+    ArmCosts,
+    Fixed,
+    PreemptionConfig,
+    RunConfig,
+    ShinjukuConfig,
+    ShinjukuOffloadConfig,
+    ShinjukuOffloadSystem,
+    ShinjukuSystem,
+    StingrayConfig,
+    ideal_offload_config,
+    measure_capacity,
+)
+from repro.systems.ideal_offload import IdealOffloadSystem
+from repro.units import us
+
+NO_PREEMPTION = PreemptionConfig(time_slice_ns=None)
+WORKERS = 16
+
+
+def offload_factory(nic_config, outstanding=5):
+    config = ShinjukuOffloadConfig(
+        workers=WORKERS, outstanding_per_worker=outstanding,
+        preemption=NO_PREEMPTION, nic=nic_config)
+
+    def make(sim, rngs, metrics):
+        return ShinjukuOffloadSystem(sim, rngs, metrics, config=config)
+    return make
+
+
+def shinjuku_factory(sim, rngs, metrics):
+    return ShinjukuSystem(
+        sim, rngs, metrics,
+        config=ShinjukuConfig(workers=15, preemption=NO_PREEMPTION))
+
+
+def ideal_factory(sim, rngs, metrics):
+    return IdealOffloadSystem(
+        sim, rngs, metrics,
+        config=ideal_offload_config(workers=WORKERS,
+                                    outstanding_per_worker=2))
+
+
+def main() -> None:
+    run_config = RunConfig(seed=9)
+    dist = Fixed(us(1.0))
+    overload = 9e6
+
+    steps = []
+
+    # Step 0: the prototype as measured (Figure 6's loser).
+    steps.append(("Stingray prototype (ARM + packets)",
+                  measure_capacity(offload_factory(StingrayConfig()),
+                                   dist, overload, run_config)))
+
+    # Fix 1 (§5.1-1): line-rate scheduling hardware, same slow wire.
+    fast_sched = StingrayConfig(costs=ArmCosts(
+        networker_pkt_ns=20.0, queue_op_ns=10.0, packet_tx_ns=20.0,
+        packet_rx_ns=15.0, intercore_hop_ns=0.0,
+        tx_batch_size=1, tx_flush_timeout_ns=0.0))
+    steps.append(("+ line-rate scheduling (ASIC)",
+                  measure_capacity(offload_factory(fast_sched),
+                                   dist, overload, run_config)))
+
+    # Fixes 2+3 (§5.1-2/3): CXL-class path + direct interrupts + cheap
+    # worker notification (the full ideal NIC).
+    steps.append(("+ CXL path + coherent notify (ideal NIC)",
+                  measure_capacity(ideal_factory, dist, overload,
+                                   run_config)))
+
+    reference = measure_capacity(shinjuku_factory, dist, overload,
+                                 run_config)
+
+    print(f"Figure 6 configuration: fixed 1us, {WORKERS} offload workers\n")
+    print(f"{'design':44s} {'capacity (M RPS)':>17s}")
+    for name, capacity in steps:
+        print(f"{name:44s} {capacity / 1e6:17.2f}")
+    print(f"{'(vanilla Shinjuku, 15 workers, for scale)':44s} "
+          f"{reference / 1e6:17.2f}")
+    print()
+    print("Line-rate scheduling removes the ARM ceiling; the coherent")
+    print("path removes the per-request packet overheads on the workers.")
+    print("Together they turn Figure 6's loss into a win - without")
+    print("spending a single host core on scheduling.")
+
+
+if __name__ == "__main__":
+    main()

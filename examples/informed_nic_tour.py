@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""A tour of everything "informed" buys the NIC (§3.1, §5.1, §5.2).
+
+The paper's thesis is that the NIC should make scheduling decisions
+*informed* by host state.  This example turns the information on one
+piece at a time, all on the ideal NIC hardware (300 ns wire, line-rate
+scheduler), against a dispersed workload:
+
+1. baseline: centralized FIFO dispatch, no preemption, no affinity;
+2. + NIC-driven preemption (the NIC tracks execution status and
+   interrupts overrunning cores itself — §3.2-4);
+3. + cache-affinity re-dispatch (preempted requests return to their
+   warm worker when possible — §3.1);
+4. + L1-targeted DDIO (safe because the informed NIC bounds in-flight
+   requests per core — §5.2).
+
+Run:  python examples/informed_nic_tour.py
+"""
+
+from repro import (
+    Bimodal,
+    MetricsCollector,
+    OpenLoopLoadGenerator,
+    PoissonArrivals,
+    PreemptionConfig,
+    RngRegistry,
+    ShinjukuOffloadConfig,
+    ShinjukuOffloadSystem,
+    Simulator,
+)
+from repro.core.ideal import ideal_nic_config
+from repro.core.policy import CacheAffinityPolicy
+from repro.config import OffloadWorkerCosts
+from repro.hw.cache import CacheLevel, DdioModel
+from repro.units import ms, us
+
+WORKERS = 4
+RATE = 320e3
+WORKLOAD = Bimodal(us(5.0), us(1000.0), 0.005)
+HORIZON = ms(15.0)
+WARMUP = ms(3.0)
+#: CXL-class workers: cheap coherent I/O (see ideal_offload_config).
+IDEAL_WORKER_COSTS = OffloadWorkerCosts(
+    rx_parse_ns=100.0, response_tx_ns=300.0, notify_tx_ns=50.0)
+
+
+def run_variant(name, preemption, policy=None, ddio=None):
+    sim = Simulator()
+    rngs = RngRegistry(seed=6)
+    collector = MetricsCollector(sim, warmup_ns=WARMUP)
+    config = ShinjukuOffloadConfig(
+        workers=WORKERS, outstanding_per_worker=2,
+        preemption=preemption, nic=ideal_nic_config(),
+        worker_costs=IDEAL_WORKER_COSTS)
+    system = ShinjukuOffloadSystem(sim, rngs, collector, config=config,
+                                   policy=policy, ddio=ddio)
+    system.start()
+    generator = OpenLoopLoadGenerator(
+        sim, system.ingress, PoissonArrivals(RATE), rngs, collector,
+        horizon_ns=HORIZON, distribution=WORKLOAD, request_bytes=1024)
+    generator.start()
+    sim.run(until=HORIZON)
+    run = collector.summarize(offered_rps=RATE)
+    warm = sum(w.warm_restores for w in system.workers)
+    return name, run, warm
+
+
+def main() -> None:
+    no_preemption = PreemptionConfig(time_slice_ns=None)
+    nic_preemption = PreemptionConfig(time_slice_ns=us(10.0),
+                                      mechanism="nic_scan")
+
+    variants = [
+        run_variant("FIFO only (no information used)", no_preemption),
+        run_variant("+ NIC-driven preemption (§3.2-4)", nic_preemption),
+        run_variant("+ cache-affinity re-dispatch (§3.1)", nic_preemption,
+                    policy=CacheAffinityPolicy()),
+        run_variant("+ L1-targeted DDIO (§5.2)", nic_preemption,
+                    policy=CacheAffinityPolicy(),
+                    ddio=DdioModel(placement=CacheLevel.L1)),
+    ]
+
+    print(f"Ideal informed NIC, 5us/1ms bimodal (0.5% slow) @ "
+          f"{RATE / 1e3:.0f}k RPS, {WORKERS} workers\n")
+    print(f"{'configuration':38s} {'p50 (us)':>9s} {'p99 (us)':>9s} "
+          f"{'warm restores':>14s}")
+    for name, run, warm in variants:
+        print(f"{name:38s} {run.latency.p50_ns / 1e3:9.1f} "
+              f"{run.latency.p99_ns / 1e3:9.1f} {warm:14d}")
+    print()
+    print("Execution-status feedback (NIC-driven preemption) is the")
+    print("headline win: p99 drops an order of magnitude.  The cache-")
+    print("state signals stack on top as constant-factor savings --")
+    print("warm context restores and L1-resident payloads -- visible")
+    print("in the warm-restore counts, all with zero host cores spent")
+    print("on scheduling.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The §3.4.5 queuing optimization, measured (a mini Figure 3).
+
+"Given the communication latency between the Stingray ARM CPU and the
+host server CPU, how can the dispatcher ensure ... that the worker is
+always busy?"  Answer: keep k requests outstanding per worker, stashing
+k-1 in the worker's RX ring.  This example sweeps k for a 4-worker
+Shinjuku-Offload at fixed 1 µs service time and prints the throughput
+curve plus a latency caveat — the paper notes "tail latency increases
+as the number of outstanding requests gets larger, so it is best to
+set it to 5."
+
+Run:  python examples/queuing_optimization.py
+"""
+
+from repro import (
+    Fixed,
+    PreemptionConfig,
+    RunConfig,
+    ShinjukuOffloadConfig,
+    ShinjukuOffloadSystem,
+    measure_capacity,
+    run_point,
+)
+from repro.units import us
+
+WORKERS = 4
+NO_PREEMPTION = PreemptionConfig(time_slice_ns=None)
+
+
+def factory(outstanding):
+    config = ShinjukuOffloadConfig(
+        workers=WORKERS, outstanding_per_worker=outstanding,
+        preemption=NO_PREEMPTION)
+
+    def make(sim, rngs, metrics):
+        return ShinjukuOffloadSystem(sim, rngs, metrics, config=config)
+    return make
+
+
+def main() -> None:
+    run_config = RunConfig(seed=7)
+    print(f"Shinjuku-Offload, fixed 1us service, {WORKERS} workers\n")
+    print(f"{'k':>3s} {'capacity (kRPS)':>16s} {'p99 @300k (us)':>15s}")
+
+    baseline = None
+    for k in range(1, 8):
+        capacity = measure_capacity(factory(k), Fixed(us(1.0)),
+                                    overload_rps=2.5e6, config=run_config)
+        moderate = run_point(factory(k), 300e3, Fixed(us(1.0)), run_config)
+        if baseline is None:
+            baseline = capacity
+        print(f"{k:3d} {capacity / 1e3:16.0f} "
+              f"{moderate.latency.p99_ns / 1e3:15.1f}")
+
+    print()
+    print(f"Throughput gain 1 -> 5 outstanding: "
+          f"{measure_capacity(factory(5), Fixed(us(1.0)), 2.5e6, run_config) / baseline - 1:+.0%} "
+          f"(paper: +250%)")
+    print("Throughput levels out once the RX stash covers the 2.56us")
+    print("round trips; pushing k higher only adds queueing latency.")
+
+
+if __name__ == "__main__":
+    main()

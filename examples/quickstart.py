@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: run Shinjuku-Offload on the paper's bimodal workload.
+
+Builds the full simulated stack — Stingray SmartNIC with the dispatcher
+on its ARM cores, SR-IOV worker VFs on the host, an open-loop client —
+offers 300k requests/second of the Figure 2 workload (99.5% 5 µs /
+0.5% 100 µs, 10 µs preemption slice), and prints what the paper would
+measure.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BIMODAL_FIG2,
+    RunConfig,
+    ShinjukuOffloadConfig,
+    ShinjukuOffloadSystem,
+    run_point,
+)
+
+
+def main() -> None:
+    # The paper's Figure 2 configuration: 4 workers, up to 4 requests
+    # outstanding per worker, 10 us Dune-timer preemption (defaults).
+    config = ShinjukuOffloadConfig(workers=4, outstanding_per_worker=4)
+
+    def factory(sim, rngs, metrics):
+        return ShinjukuOffloadSystem(sim, rngs, metrics, config=config)
+
+    metrics = run_point(
+        factory,
+        rate_rps=300e3,
+        distribution=BIMODAL_FIG2,
+        config=RunConfig(seed=42),
+    )
+
+    latency = metrics.latency
+    throughput = metrics.throughput
+    print("Shinjuku-Offload, bimodal 99.5% 5us / 0.5% 100us @ 300k RPS")
+    print(f"  achieved throughput : {throughput.achieved_rps / 1e3:.0f}k RPS")
+    print(f"  median latency      : {latency.p50_ns / 1e3:.1f} us")
+    print(f"  tail (p99) latency  : {latency.p99_ns / 1e3:.1f} us")
+    print(f"  p99.9 latency       : {latency.p999_ns / 1e3:.1f} us")
+    print(f"  preemptions         : {metrics.preemptions}")
+    print(f"  worker time waiting : {metrics.worker_wait_fraction:.1%}")
+    print()
+    print("Despite 0.5% of requests running 100us, the p99 stays near")
+    print("the 10us slice scale - the centralized preemptive scheduler")
+    print("on the NIC keeps short requests from queueing behind long ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim so `pip install -e .` works without network access.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path on environments that lack the `wheel`
+package (PEP 517 editable installs require it).
+"""
+
+from setuptools import setup
+
+setup()

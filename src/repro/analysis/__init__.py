@@ -1,0 +1,19 @@
+"""Analytical queueing models used to validate the simulator."""
+
+from repro.analysis.queueing import (
+    erlang_c,
+    mm1_mean_sojourn_ns,
+    mmc_mean_sojourn_ns,
+    mg1_mean_sojourn_ns,
+    mm1_sojourn_percentile_ns,
+    utilization,
+)
+
+__all__ = [
+    "erlang_c",
+    "mm1_mean_sojourn_ns",
+    "mmc_mean_sojourn_ns",
+    "mg1_mean_sojourn_ns",
+    "mm1_sojourn_percentile_ns",
+    "utilization",
+]

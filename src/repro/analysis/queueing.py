@@ -1,0 +1,103 @@
+"""Closed-form queueing results (M/M/1, M/M/c, M/G/1).
+
+These formulas ground the simulator: a served system stripped of its
+overheads must reproduce them, and the validation tests in
+``tests/integration/test_queueing_theory.py`` check that it does.
+They are also what §2.2 leans on informally — e.g. the
+Pollaczek-Khinchine mean delay grows linearly in the service-time SCV,
+which is *why* "highly-variable workloads" are hard for FCFS systems.
+
+All times in nanoseconds; rates in requests/second.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ExperimentError
+from repro.units import SEC
+
+
+def utilization(rate_rps: float, mean_service_ns: float,
+                servers: int = 1) -> float:
+    """Offered load ρ = λ·E[S] / c."""
+    if rate_rps < 0 or mean_service_ns < 0:
+        raise ExperimentError("rate and service time must be non-negative")
+    if servers < 1:
+        raise ExperimentError(f"servers must be >= 1: {servers}")
+    return rate_rps * (mean_service_ns / SEC) / servers
+
+
+def _check_stable(rho: float) -> None:
+    if rho >= 1.0:
+        raise ExperimentError(
+            f"unstable queue: utilization {rho:.3f} >= 1")
+
+
+def mm1_mean_sojourn_ns(rate_rps: float, mean_service_ns: float) -> float:
+    """Mean time in system for M/M/1: E[T] = E[S] / (1 - ρ)."""
+    rho = utilization(rate_rps, mean_service_ns)
+    _check_stable(rho)
+    return mean_service_ns / (1.0 - rho)
+
+
+def mm1_sojourn_percentile_ns(rate_rps: float, mean_service_ns: float,
+                              p: float) -> float:
+    """Sojourn-time percentile for M/M/1.
+
+    T is exponential with mean E[T], so
+    ``t_p = -E[T] · ln(1 - p/100)``.
+    """
+    if not 0.0 < p < 100.0:
+        raise ExperimentError(f"percentile must be in (0, 100): {p}")
+    mean = mm1_mean_sojourn_ns(rate_rps, mean_service_ns)
+    return -mean * math.log(1.0 - p / 100.0)
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C: probability an arrival must queue in M/M/c.
+
+    *offered_load* is a = λ·E[S] (in Erlangs); requires a < c.
+    """
+    if servers < 1:
+        raise ExperimentError(f"servers must be >= 1: {servers}")
+    if offered_load < 0:
+        raise ExperimentError(f"offered load must be >= 0: {offered_load}")
+    rho = offered_load / servers
+    _check_stable(rho)
+    # Stable iterative evaluation of the Erlang-B recursion, then the
+    # standard B -> C conversion.
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    return blocking / (1.0 - rho * (1.0 - blocking))
+
+
+def mmc_mean_sojourn_ns(rate_rps: float, mean_service_ns: float,
+                        servers: int) -> float:
+    """Mean time in system for M/M/c:
+    E[T] = C(c, a)·E[S]/(c·(1-ρ)) + E[S]."""
+    offered = rate_rps * mean_service_ns / SEC
+    rho = utilization(rate_rps, mean_service_ns, servers)
+    _check_stable(rho)
+    wait = (erlang_c(servers, offered) * mean_service_ns
+            / (servers * (1.0 - rho)))
+    return wait + mean_service_ns
+
+
+def mg1_mean_sojourn_ns(rate_rps: float, mean_service_ns: float,
+                        scv: float) -> float:
+    """Pollaczek-Khinchine mean time in system for M/G/1:
+
+        E[T] = E[S] + ρ·E[S]·(1 + C_s²) / (2·(1 - ρ))
+
+    The (1 + C_s²) factor is the §2.2 story in one formula: doubling
+    the service-time SCV doubles the queueing term — dispersion is
+    intrinsically expensive for non-preemptive FCFS.
+    """
+    if scv < 0:
+        raise ExperimentError(f"scv must be non-negative: {scv}")
+    rho = utilization(rate_rps, mean_service_ns)
+    _check_stable(rho)
+    wait = rho * mean_service_ns * (1.0 + scv) / (2.0 * (1.0 - rho))
+    return wait + mean_service_ns

@@ -1,0 +1,98 @@
+"""Command-line entry point: ``repro <experiment>``.
+
+Regenerates any paper figure or the in-text claims table from the
+terminal::
+
+    repro list                 # what's available
+    repro fig2                 # Figure 2 at full scale
+    repro fig6 --scale 0.5     # quicker, noisier
+    repro table-t1             # in-text claims, paper vs measured
+    repro all                  # everything (several minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.harness import RunConfig
+from repro.experiments.report import render_figure, render_t1
+from repro.experiments.tables import table_t1
+from repro.version import __version__
+
+_FIGURE_DESCRIPTIONS = {
+    "fig2": "bimodal 99.5%/0.5%, 10us slice, Shinjuku 3w vs Offload 4w",
+    "fig3": "fixed 1us, Offload throughput vs outstanding requests",
+    "fig4": "fixed 5us, no preemption, 3w vs 4w",
+    "fig5": "fixed 100us, 15w vs 16w",
+    "fig6": "fixed 1us, 15w vs 16w (the dispatcher bottleneck)",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation of 'Mind the Gap' "
+                    "(HotNets '19) from simulation.")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+
+    for fig_id, description in _FIGURE_DESCRIPTIONS.items():
+        fig_parser = sub.add_parser(fig_id, help=description)
+        fig_parser.add_argument(
+            "--scale", type=float, default=1.0,
+            help="horizon scale factor (smaller = faster, noisier)")
+        fig_parser.add_argument("--seed", type=int, default=42)
+
+    t1_parser = sub.add_parser(
+        "table-t1", help="in-text quantitative claims, paper vs measured")
+    t1_parser.add_argument("--seed", type=int, default=42)
+
+    all_parser = sub.add_parser("all", help="every figure plus table T1")
+    all_parser.add_argument("--scale", type=float, default=1.0)
+    all_parser.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _run_figure(fig_id: str, scale: float, seed: int) -> None:
+    start = time.time()
+    figure = ALL_FIGURES[fig_id](config=RunConfig(seed=seed), scale=scale)
+    print(render_figure(figure))
+    print(f"[{fig_id} regenerated in {time.time() - start:.1f}s]")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None or args.command == "list":
+        print("experiments:")
+        for fig_id, description in _FIGURE_DESCRIPTIONS.items():
+            print(f"  {fig_id:9s} {description}")
+        print(f"  {'table-t1':9s} in-text claims, paper vs measured")
+        print(f"  {'all':9s} everything above")
+        return 0
+    if args.command == "table-t1":
+        print(render_t1(table_t1(RunConfig(seed=args.seed))))
+        return 0
+    if args.command == "all":
+        for fig_id in _FIGURE_DESCRIPTIONS:
+            _run_figure(fig_id, args.scale, args.seed)
+            print()
+        print(render_t1(table_t1(RunConfig(seed=args.seed))))
+        return 0
+    if args.command in ALL_FIGURES:
+        _run_figure(args.command, args.scale, args.seed)
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":
+    sys.exit(main())

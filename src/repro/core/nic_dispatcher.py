@@ -1,0 +1,286 @@
+"""The on-NIC dispatcher pipeline (§3.4.1).
+
+"Due to the high overhead of constructing and sending packets, the
+dispatcher's functionality is split across three ARM cores.  One core
+is dedicated to managing the task queue, enqueuing new and preempted
+requests along with dequeuing requests and assigning them to idle
+workers.  A second core is dedicated to placing the dequeued requests
+into packets and sending the packets to workers.  A third core is
+dedicated to polling for response packets from workers and parsing the
+responses.  These three cores communicate via shared memory."
+
+:class:`NicDispatcherPipeline` reproduces that structure:
+
+- **queue-manager core** — serializes every enqueue and every
+  dequeue+assign at ``queue_op_ns`` each;
+- **packet-TX core** — per dispatched request, ``packet_tx_ns`` to
+  construct and send the UDP packet to the worker's SR-IOV VF;
+- **packet-RX core** — per worker notification, ``packet_rx_ns`` to
+  poll and parse; completion notifications release outstanding
+  credits, preemption notifications re-enqueue the request at the
+  task-queue tail.
+
+The stages are pipelined: the binding stage's per-op cost sets the
+dispatcher's throughput ceiling, which is exactly the Figure 6
+bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.config import ArmCosts
+from repro.errors import SchedulingError
+from repro.core.policy import CentralizedFifoPolicy, SchedulingPolicy
+from repro.core.queuing import OutstandingTracker
+from repro.hw.cpu import HardwareThread
+from repro.net.addressing import MacAddress
+from repro.net.packet import NotifyPayload, Packet, RequestPayload, make_udp_packet
+from repro.net.port import NetworkPort
+from repro.runtime.request import Request
+from repro.runtime.taskqueue import TaskQueue
+from repro.sim.primitives import Signal, Store
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import Tracer
+
+
+class NicDispatcherPipeline:
+    """The three-ARM-core dispatcher.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    threads:
+        Exactly three ARM hardware threads: (queue-manager, packet-TX,
+        packet-RX).
+    costs:
+        Per-op ARM costs.
+    tracker:
+        Outstanding-request credits (the §3.4.5 optimization).
+    tx_port:
+        ARM-side NIC port used to send requests to workers.
+    rx_port:
+        ARM-side NIC port workers send notifications to.
+    worker_macs:
+        ``worker_id -> MAC`` of each worker's SR-IOV VF.
+    policy:
+        Worker-selection policy (default: the paper's).
+    on_drop:
+        Called when the bounded task queue rejects a request.
+    tracer:
+        Optional structured tracer.
+    """
+
+    DST_PORT_WORK = 9000  # UDP port workers listen for work on
+
+    def __init__(self, sim: "Simulator", threads: List[HardwareThread],
+                 costs: ArmCosts, tracker: OutstandingTracker,
+                 tx_port: NetworkPort, rx_port: NetworkPort,
+                 worker_macs: Dict[int, MacAddress],
+                 policy: Optional[SchedulingPolicy] = None,
+                 queue_capacity: Optional[int] = None,
+                 on_drop: Optional[Callable[[Request], None]] = None,
+                 on_dispatch: Optional[Callable[[int], None]] = None,
+                 on_notify: Optional[Callable[[int], None]] = None,
+                 tracer: Optional["Tracer"] = None):
+        if len(threads) != 3:
+            raise SchedulingError(
+                f"the dispatcher pipeline needs 3 ARM threads, got {len(threads)}")
+        self.sim = sim
+        self.qm_thread, self.tx_thread, self.rx_thread = threads
+        self.costs = costs
+        self.tracker = tracker
+        self.tx_port = tx_port
+        self.rx_port = rx_port
+        self.worker_macs = dict(worker_macs)
+        self.policy = policy if policy is not None else CentralizedFifoPolicy()
+        self.on_drop = on_drop
+        #: Hooks for NIC-side observers (e.g. the §3.2-4 preemption
+        #: scanner's execution-status estimates).
+        self.on_dispatch = on_dispatch
+        self.on_notify = on_notify
+        self.tracer = tracer
+
+        self.task_queue = TaskQueue(sim, capacity=queue_capacity,
+                                    name="nic-taskq")
+        #: Requests handed to the NIC but not yet ingested by the
+        #: queue-manager core (shared memory with the networker).
+        self._ingest: Store = Store(sim, name="nic-ingest")
+        #: Dequeued (request, worker) pairs awaiting packetization.
+        self._to_tx: Store = Store(sim, name="nic-to-tx")
+        self._work_signal = Signal(sim, name="nic-dispatch-work")
+        # -- statistics --------------------------------------------------------
+        self.dispatched = 0
+        self.completions = 0
+        self.preemption_returns = 0
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the three pipeline core processes."""
+        if self._started:
+            raise SchedulingError("dispatcher pipeline already started")
+        self._started = True
+        self.sim.process(self._queue_manager_loop(), label="nic-qm")
+        self.sim.process(self._tx_loop(), label="nic-tx")
+        self.sim.process(self._rx_loop(), label="nic-rx")
+
+    # -- ingress (called by the networking subsystem) ------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Hand a parsed request to the dispatcher (shared memory)."""
+        self._ingest.try_put(request)
+        self._work_signal.fire()
+
+    # -- the queue-manager core -----------------------------------------------------
+
+    def _queue_manager_loop(self):
+        """Dispatch takes priority over ingest.
+
+        Keeping workers fed matters more than draining the networker's
+        shared-memory handoff; the reverse order lets an arrival flood
+        starve dispatching under overload and collapse goodput.
+        """
+        costs = self.costs
+        while True:
+            progressed = False
+            worker_id: Optional[int] = None
+            if len(self.task_queue) > 0:
+                worker_id = self.policy.select_worker(
+                    self.tracker, self.task_queue.peek())
+            if worker_id is not None:
+                ok, request = self.task_queue.try_dequeue()
+                assert ok and request is not None
+                # Dequeue + assign op.
+                yield self.qm_thread.execute(costs.queue_op_ns)
+                self.tracker.credit(worker_id)
+                request.stamp("dispatched", self.sim.now)
+                self.dispatched += 1
+                if self.on_dispatch is not None:
+                    self.on_dispatch(worker_id)
+                if self.tracer is not None:
+                    self.tracer.emit("nic-qm", "assign",
+                                     request=request.request_id,
+                                     worker=worker_id)
+                # Shared-memory hop to the packet-TX core.
+                self._hand_to_tx(request, worker_id)
+                progressed = True
+            else:
+                ok, request = self._ingest.try_get()
+                if ok:
+                    # Enqueue op: new or preempted request to the tail.
+                    yield self.qm_thread.execute(costs.queue_op_ns)
+                    accepted = self.task_queue.enqueue(request)
+                    if not accepted and self.on_drop is not None:
+                        self.on_drop(request)
+                    if self.tracer is not None:
+                        self.tracer.emit("nic-qm", "enqueue",
+                                         request=request.request_id,
+                                         accepted=accepted)
+                    progressed = True
+            if not progressed:
+                yield self._work_signal.wait()
+
+    def _hand_to_tx(self, request: Request, worker_id: int) -> None:
+        hop = self.costs.intercore_hop_ns
+        if hop > 0:
+            self.sim.call_in(
+                hop, lambda: self._to_tx.try_put((request, worker_id)))
+        else:
+            self._to_tx.try_put((request, worker_id))
+
+    # -- the packet-TX core -----------------------------------------------------------
+
+    def _tx_loop(self):
+        """Construct and send worker packets, with DPDK-style batching.
+
+        The TX core buffers up to ``tx_batch_size`` packets and flushes
+        when the batch fills or the oldest buffered packet ages past
+        ``tx_flush_timeout_ns`` (the rte_eth_tx_buffer + drain-timer
+        idiom).  Construction cost is still paid per packet; batching
+        only delays the doorbell, so it stretches round trips at low
+        outstanding counts without changing peak throughput.
+        """
+        costs = self.costs
+        batch_size = max(1, costs.tx_batch_size)
+        flush_timeout = costs.tx_flush_timeout_ns
+        while True:
+            batch = [(yield self._to_tx.get())]
+            if batch_size > 1 and flush_timeout > 0:
+                deadline = self.sim.now + flush_timeout
+                while len(batch) < batch_size:
+                    remaining = deadline - self.sim.now
+                    if remaining <= 0:
+                        break
+                    get_ev = self._to_tx.get()
+                    timeout_ev = self.sim.timeout(remaining)
+                    yield self.sim.any_of([get_ev, timeout_ev])
+                    if get_ev.triggered:
+                        batch.append(get_ev.value)
+                    else:
+                        self._to_tx.cancel_get(get_ev)
+                        break
+            for request, worker_id in batch:
+                # Construct + send the UDP packet to the worker's VF.
+                yield self.tx_thread.execute(costs.packet_tx_ns)
+                packet = self._build_work_packet(request, worker_id)
+                self.tx_port.transmit(packet)
+                if self.tracer is not None:
+                    self.tracer.emit("nic-tx", "send",
+                                     request=request.request_id,
+                                     worker=worker_id)
+
+    def _build_work_packet(self, request: Request, worker_id: int) -> Packet:
+        dst_mac = self.worker_macs[worker_id]
+        src_ip = self.tx_port.ip
+        assert src_ip is not None, "dispatcher tx_port needs an IP"
+        return make_udp_packet(
+            src_mac=self.tx_port.mac, dst_mac=dst_mac,
+            src_ip=src_ip, dst_ip=src_ip,  # on-NIC addressing is by MAC
+            src_port=self.DST_PORT_WORK, dst_port=self.DST_PORT_WORK,
+            payload=RequestPayload(request=request),
+            payload_bytes=request.size_bytes)
+
+    # -- the packet-RX core ------------------------------------------------------------
+
+    def _rx_loop(self):
+        costs = self.costs
+        while True:
+            packet = yield self.rx_port.poll()
+            # Poll + parse the notification.
+            yield self.rx_thread.execute(costs.packet_rx_ns)
+            payload = packet.payload
+            if not isinstance(payload, NotifyPayload):
+                raise SchedulingError(
+                    f"dispatcher rx port got a non-notify packet: {packet!r}")
+            self.tracker.debit(payload.worker_id)
+            if self.on_notify is not None:
+                self.on_notify(payload.worker_id)
+            if payload.outcome == "preempted":
+                self.preemption_returns += 1
+                # Back to the tail of the centralized queue (§3.4.1).
+                self._ingest.try_put(payload.request)
+            else:
+                self.completions += 1
+            if self.tracer is not None:
+                self.tracer.emit("nic-rx", "notify",
+                                 request=payload.request.request_id,
+                                 worker=payload.worker_id,
+                                 outcome=payload.outcome)
+            self._work_signal.fire()
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting in the central task queue."""
+        return len(self.task_queue)
+
+    def __repr__(self) -> str:
+        return (f"<NicDispatcherPipeline dispatched={self.dispatched} "
+                f"queue={len(self.task_queue)} "
+                f"outstanding={self.tracker.total}>")

@@ -1,0 +1,99 @@
+"""Centralized scheduling policies.
+
+The prototype's policy is simple and fixed (§3.4.1): FIFO request
+order, dispatch to any worker with credit, preempted requests re-queued
+at the tail.  :class:`CentralizedFifoPolicy` implements exactly that
+worker-selection half (request order lives in
+:class:`~repro.runtime.taskqueue.TaskQueue`).  The policy interface
+exists because §5.1-1 criticizes hardware whose "scheduling policy
+itself is fixed upfront" (Elastic RSS) — an informed NIC should accept
+pluggable policies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.queuing import OutstandingTracker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.request import Request
+
+
+class SchedulingPolicy:
+    """Interface: pick the worker for the request at the queue head.
+
+    *request* is the head request about to be dispatched (may be None
+    for policies that do not look at it).
+    """
+
+    def select_worker(self, tracker: OutstandingTracker,
+                      request: Optional["Request"] = None) -> Optional[int]:
+        """Worker id to dispatch to, or None if none can take work."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class CentralizedFifoPolicy(SchedulingPolicy):
+    """The paper's policy: least-outstanding worker under the target.
+
+    With ``target == 1`` this degenerates to "assign the request at the
+    front of the queue to an available worker" — vanilla Shinjuku.
+    With ``target == k`` it implements the §3.4.5 queuing optimization.
+    """
+
+    def select_worker(self, tracker: OutstandingTracker,
+                      request: Optional["Request"] = None) -> Optional[int]:
+        return tracker.select()
+
+
+class StrictRoundRobinPolicy(SchedulingPolicy):
+    """Ablation: rotate workers regardless of load (skips full ones)."""
+
+    def __init__(self):
+        self._next = 0
+
+    def select_worker(self, tracker: OutstandingTracker,
+                      request: Optional["Request"] = None) -> Optional[int]:
+        n = tracker.n_workers
+        for offset in range(n):
+            wid = (self._next + offset) % n
+            if tracker.has_capacity(wid):
+                self._next = (wid + 1) % n
+                return wid
+        return None
+
+
+class CacheAffinityPolicy(SchedulingPolicy):
+    """§3.1's affinity-informed scheduling.
+
+    "this feedback would include ... performance counter data used to
+    predict the state of each core's caches and provide good scheduling
+    affinity."
+
+    A preempted request's context is warm on the worker that last ran
+    it; re-dispatching there makes the restore cheap.  The policy sends
+    a previously-run request back to its last worker *only when that
+    worker is currently unloaded* — affinity must never queue a request
+    behind someone else's work just to save a few hundred nanoseconds
+    of cache refill, so a loaded previous worker falls back to
+    least-outstanding selection and work conservation is preserved.
+    """
+
+    def __init__(self):
+        #: Dispatches that exploited affinity (diagnostics).
+        self.affinity_hits = 0
+        #: Dispatches that fell back to least-outstanding.
+        self.fallbacks = 0
+
+    def select_worker(self, tracker: OutstandingTracker,
+                      request: Optional["Request"] = None) -> Optional[int]:
+        if request is not None and request.worker_id is not None:
+            previous = request.worker_id
+            if 0 <= previous < tracker.n_workers and \
+                    tracker.outstanding(previous) == 0:
+                self.affinity_hits += 1
+                return previous
+        selected = tracker.select()
+        if selected is not None:
+            self.fallbacks += 1
+        return selected

@@ -1,0 +1,104 @@
+"""The outstanding-request queuing optimization (§3.4.5).
+
+"Given the communication latency between the Stingray ARM CPU and the
+host server CPU, how can the dispatcher ensure that a pending request
+is waiting in a worker's RX queue when the worker is preempted or
+finishes a request, so that the worker is always busy?  ... The
+dispatcher ensures that at least one request is waiting in the worker's
+network RX queue while the worker is executing a request."
+
+:class:`OutstandingTracker` is the dispatcher-side credit counter that
+realizes this: each worker may have up to ``target`` requests
+outstanding (the executing one plus RX-queue stash).  Figure 3 sweeps
+``target`` from 1 to 7; the paper's sweet spot is 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError, SchedulingError
+
+
+class OutstandingTracker:
+    """Per-worker outstanding-request credits.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker count.
+    target:
+        Maximum requests outstanding per worker (1 = no optimization,
+        i.e. dispatch only to idle workers).
+    """
+
+    def __init__(self, n_workers: int, target: int = 1):
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if target < 1:
+            raise ConfigError(f"target must be >= 1, got {target}")
+        self.n_workers = n_workers
+        self.target = target
+        self._outstanding: Dict[int, int] = {w: 0 for w in range(n_workers)}
+        #: Round-robin pointer for tie-breaking among equal loads.
+        self._rr_next = 0
+        #: Peak total outstanding (diagnostics).
+        self.max_total = 0
+
+    def outstanding(self, worker_id: int) -> int:
+        """Requests currently outstanding at *worker_id*."""
+        return self._outstanding[worker_id]
+
+    @property
+    def total(self) -> int:
+        """Requests outstanding across all workers."""
+        return sum(self._outstanding.values())
+
+    def has_capacity(self, worker_id: int) -> bool:
+        """True if *worker_id* is below its outstanding target."""
+        return self._outstanding[worker_id] < self.target
+
+    def workers_below_target(self) -> List[int]:
+        """Workers that can accept another request."""
+        return [w for w, n in self._outstanding.items() if n < self.target]
+
+    def select(self) -> Optional[int]:
+        """The worker to dispatch to next, or None if all are full.
+
+        Least-outstanding first — keeping every worker's RX stash
+        topped up evenly — with round-robin among ties so no worker is
+        systematically favoured.
+        """
+        best: Optional[int] = None
+        best_load: Optional[int] = None
+        for offset in range(self.n_workers):
+            wid = (self._rr_next + offset) % self.n_workers
+            load = self._outstanding[wid]
+            if load >= self.target:
+                continue
+            if best_load is None or load < best_load:
+                best, best_load = wid, load
+        if best is not None:
+            self._rr_next = (best + 1) % self.n_workers
+        return best
+
+    def credit(self, worker_id: int) -> None:
+        """Record a dispatch toward *worker_id*."""
+        if self._outstanding[worker_id] >= self.target:
+            raise SchedulingError(
+                f"worker {worker_id} already at target {self.target}")
+        self._outstanding[worker_id] += 1
+        total = self.total
+        if total > self.max_total:
+            self.max_total = total
+
+    def debit(self, worker_id: int) -> None:
+        """Record a completion/preemption notification from *worker_id*."""
+        if self._outstanding[worker_id] <= 0:
+            raise SchedulingError(
+                f"worker {worker_id} has no outstanding requests to debit")
+        self._outstanding[worker_id] -= 1
+
+    def __repr__(self) -> str:
+        return (f"<OutstandingTracker target={self.target} "
+                f"loads={list(self._outstanding.values())}>")

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """A problem inside the discrete-event simulation engine."""
+
+
+class SchedulingError(SimulationError):
+    """The event loop was asked to do something impossible.
+
+    Examples: scheduling an event in the past, or running a simulator
+    that has already been stopped.
+    """
+
+
+class ProcessInterrupt(ReproError):
+    """Raised inside a simulation process when it is interrupted.
+
+    The interrupting party may attach an arbitrary ``cause`` describing
+    why the interrupt happened (e.g. a preemption notice).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self):
+        return f"ProcessInterrupt(cause={self.cause!r})"
+
+
+class QueueFullError(SimulationError):
+    """A bounded queue rejected an item because it was at capacity."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-substrate errors."""
+
+
+class AddressError(NetworkError):
+    """A malformed or unknown network address was used."""
+
+
+class DeliveryError(NetworkError):
+    """A packet could not be delivered (no route / port down)."""
+
+
+class HardwareError(ReproError):
+    """Base class for hardware-model errors (CPU, timer, NIC)."""
+
+
+class TimerError(HardwareError):
+    """Invalid use of the local-APIC timer model."""
+
+
+class WorkloadError(ReproError):
+    """An invalid workload specification (distribution, load level)."""
+
+
+class ExperimentError(ReproError):
+    """A failure while running an experiment harness."""

@@ -1,0 +1,60 @@
+"""Experiment harness: run points, sweeps, figures, and tables."""
+
+from repro.experiments.harness import (
+    RunConfig,
+    SweepPoint,
+    LoadSweepResult,
+    run_point,
+    load_sweep,
+    measure_capacity,
+    find_saturation,
+)
+from repro.experiments.figures import (
+    FigureSeries,
+    FigureResult,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    ALL_FIGURES,
+)
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    SensitivityResult,
+    sweep_parameter,
+)
+from repro.experiments.tables import table_t1, TableRow
+from repro.experiments.report import (
+    render_table,
+    render_figure,
+    render_run,
+    render_t1,
+)
+
+__all__ = [
+    "RunConfig",
+    "SweepPoint",
+    "LoadSweepResult",
+    "run_point",
+    "load_sweep",
+    "measure_capacity",
+    "find_saturation",
+    "FigureSeries",
+    "FigureResult",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "ALL_FIGURES",
+    "SensitivityPoint",
+    "SensitivityResult",
+    "sweep_parameter",
+    "table_t1",
+    "TableRow",
+    "render_table",
+    "render_figure",
+    "render_run",
+    "render_t1",
+]

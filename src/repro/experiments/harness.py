@@ -1,0 +1,177 @@
+"""Running systems under load: single points, sweeps, saturation search.
+
+A *system factory* is any callable ``(sim, rngs, metrics) -> BaseSystem``;
+the harness owns simulator construction so every point runs in a fresh,
+independently seeded universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import RunMetrics
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.systems.base import BaseSystem
+from repro.units import ms
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.distributions import ServiceTimeDistribution
+from repro.workload.generator import ClientPool, OpenLoopLoadGenerator
+
+SystemFactory = Callable[[Simulator, RngRegistry, MetricsCollector], BaseSystem]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How long and how carefully to run each point.
+
+    ``horizon_ns``/``warmup_ns`` trade precision for wall-clock time;
+    benches use the defaults, unit tests shrink them.
+    """
+
+    seed: int = 42
+    horizon_ns: float = ms(10.0)
+    warmup_ns: float = ms(2.0)
+    #: Hard ceiling on kernel events per run (guards runaway points).
+    max_events: Optional[int] = 50_000_000
+
+    def __post_init__(self):
+        if self.horizon_ns <= self.warmup_ns:
+            raise ExperimentError(
+                f"horizon {self.horizon_ns} must exceed warmup {self.warmup_ns}")
+
+    def scaled(self, factor: float) -> "RunConfig":
+        """A config with horizon and warmup scaled by *factor*."""
+        if factor <= 0:
+            raise ExperimentError(f"scale factor must be positive: {factor}")
+        return replace(self, horizon_ns=self.horizon_ns * factor,
+                       warmup_ns=self.warmup_ns * factor)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured point of a load sweep."""
+
+    offered_rps: float
+    metrics: RunMetrics
+
+    @property
+    def achieved_rps(self) -> float:
+        """Measured steady-state throughput at this point."""
+        return self.metrics.throughput.achieved_rps
+
+    @property
+    def p99_ns(self) -> float:
+        """Tail latency at this point (NaN with no samples)."""
+        if self.metrics.latency is None:
+            return float("nan")
+        return self.metrics.latency.p99_ns
+
+
+@dataclass
+class LoadSweepResult:
+    """All points of one system's sweep, in offered-rate order."""
+
+    system_name: str
+    points: List[SweepPoint]
+
+    def xs_achieved_rps(self) -> List[float]:
+        """The x series: achieved throughput per point."""
+        return [p.achieved_rps for p in self.points]
+
+    def ys_p99_us(self) -> List[float]:
+        """The y series: p99 latency per point, microseconds."""
+        return [p.p99_ns / 1e3 for p in self.points]
+
+    def saturation_rps(self, efficiency: float = 0.95) -> float:
+        """Highest offered rate still served at *efficiency* of offered."""
+        best = 0.0
+        for point in self.points:
+            if point.achieved_rps >= efficiency * point.offered_rps:
+                best = max(best, point.offered_rps)
+        return best
+
+    def max_achieved_rps(self) -> float:
+        """The best throughput any point achieved."""
+        return max((p.achieved_rps for p in self.points), default=0.0)
+
+
+def run_point(factory: SystemFactory, rate_rps: float,
+              distribution: ServiceTimeDistribution,
+              config: RunConfig = RunConfig(),
+              clients: Optional[ClientPool] = None) -> RunMetrics:
+    """Run one (system, rate) point and return its metrics."""
+    if rate_rps <= 0:
+        raise ExperimentError(f"rate must be positive: {rate_rps}")
+    sim = Simulator()
+    rngs = RngRegistry(config.seed)
+    metrics = MetricsCollector(sim, warmup_ns=config.warmup_ns)
+    system = factory(sim, rngs, metrics)
+    system.start()
+    generator = OpenLoopLoadGenerator(
+        sim, system.ingress, PoissonArrivals(rate_rps), rngs, metrics,
+        horizon_ns=config.horizon_ns, distribution=distribution,
+        clients=clients)
+    generator.start()
+    # Run to the horizon exactly: the measurement window is
+    # [warmup, horizon] regardless of in-flight stragglers, and systems
+    # with perpetual housekeeping processes (rebalancers, advertisers)
+    # terminate cleanly.
+    sim.run(until=config.horizon_ns, max_events=config.max_events)
+    return metrics.summarize(offered_rps=rate_rps)
+
+
+def load_sweep(factory: SystemFactory, rates_rps: Sequence[float],
+               distribution: ServiceTimeDistribution,
+               config: RunConfig = RunConfig(),
+               system_name: str = "system") -> LoadSweepResult:
+    """Run *factory* at each offered rate; one fresh simulator each."""
+    if not rates_rps:
+        raise ExperimentError("empty rate list")
+    points = [
+        SweepPoint(offered_rps=rate,
+                   metrics=run_point(factory, rate, distribution, config))
+        for rate in rates_rps]
+    return LoadSweepResult(system_name=system_name, points=points)
+
+
+def measure_capacity(factory: SystemFactory,
+                     distribution: ServiceTimeDistribution,
+                     overload_rps: float,
+                     config: RunConfig = RunConfig()) -> float:
+    """Achieved throughput under heavy overload — the plateau value.
+
+    This is how Figure 3's y-axis is measured: offer far more than the
+    system can serve and report what actually completes.
+    """
+    metrics = run_point(factory, overload_rps, distribution, config)
+    return metrics.throughput.achieved_rps
+
+
+def find_saturation(factory: SystemFactory,
+                    distribution: ServiceTimeDistribution,
+                    lo_rps: float, hi_rps: float,
+                    config: RunConfig = RunConfig(),
+                    efficiency: float = 0.95,
+                    iterations: int = 7) -> float:
+    """Binary-search the saturation knee between *lo_rps* and *hi_rps*.
+
+    Returns the highest rate at which the system still completes at
+    least *efficiency* of offered load.
+    """
+    if not 0 < lo_rps < hi_rps:
+        raise ExperimentError(f"need 0 < lo < hi, got {lo_rps}, {hi_rps}")
+    best = 0.0
+    lo, hi = lo_rps, hi_rps
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        metrics = run_point(factory, mid, distribution, config)
+        if metrics.throughput.achieved_rps >= efficiency * mid:
+            best = mid
+            lo = mid
+        else:
+            hi = mid
+    return best

@@ -1,0 +1,116 @@
+"""Cache hierarchy and the Intel DDIO placement model (§5.2).
+
+DDIO lets the NIC DMA packets directly into the LLC instead of DRAM.
+The paper's §5.2 observation: because an informed scheduling NIC
+guarantees "at most one request is in-flight at any time on each
+core", it could place packets even in the *L1* without polluting it.
+
+:class:`DdioModel` computes the worker's cost to read a freshly
+delivered payload given the placement level, which is what the DDIO
+ablation bench sweeps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, HardwareError
+
+CACHE_LINE_BYTES = 64
+
+
+class CacheLevel(enum.Enum):
+    """Where a DMA'd payload lands (and is later read from)."""
+
+    L1 = "l1"
+    L2 = "l2"
+    LLC = "llc"
+    DRAM = "dram"
+    REMOTE_LLC = "remote_llc"  # wrong socket: §1's multi-socket DDIO problem
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """Per-level load-to-use latencies, ns (Xeon E5-class defaults)."""
+
+    l1_ns: float = 1.7       # ~4 cycles @ 2.3 GHz
+    l2_ns: float = 5.2       # ~12 cycles
+    llc_ns: float = 17.4     # ~40 cycles
+    dram_ns: float = 90.0
+    remote_llc_ns: float = 140.0   # QPI hop to the other socket's LLC
+    #: Fraction of per-line latency exposed when streaming many lines
+    #: (hardware prefetchers hide most of it after the first miss).
+    streaming_factor: float = 0.25
+
+    def latency_ns(self, level: CacheLevel) -> float:
+        """Load-to-use latency of *level*."""
+        if level is CacheLevel.L1:
+            return self.l1_ns
+        if level is CacheLevel.L2:
+            return self.l2_ns
+        if level is CacheLevel.LLC:
+            return self.llc_ns
+        if level is CacheLevel.DRAM:
+            return self.dram_ns
+        if level is CacheLevel.REMOTE_LLC:
+            return self.remote_llc_ns
+        raise HardwareError(f"unknown cache level {level!r}")
+
+    def read_cost_ns(self, size_bytes: int, level: CacheLevel) -> float:
+        """Cost to read a *size_bytes* payload resident at *level*.
+
+        First line pays the full load-to-use latency; subsequent lines
+        are prefetched and pay ``streaming_factor`` of it.
+        """
+        if size_bytes <= 0:
+            return 0.0
+        lines = (size_bytes + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES
+        per_line = self.latency_ns(level)
+        return per_line + (lines - 1) * per_line * self.streaming_factor
+
+
+class DdioModel:
+    """Chooses payload placement and prices the worker's first read.
+
+    Parameters
+    ----------
+    hierarchy:
+        Latency numbers.
+    placement:
+        Default placement for NIC-delivered payloads.  Plain DDIO puts
+        them in the LLC; with DDIO disabled they land in DRAM; an
+        informed NIC may target L1 (§5.2).
+    l1_capacity_requests:
+        How many in-flight payloads fit in L1 before placement falls
+        back to L2 — an informed NIC keeps this at 1 per core, which is
+        exactly why L1 placement is safe.
+    """
+
+    def __init__(self, hierarchy: CacheHierarchy = CacheHierarchy(),
+                 placement: CacheLevel = CacheLevel.LLC,
+                 l1_capacity_requests: int = 1):
+        if l1_capacity_requests < 1:
+            raise ConfigError("l1_capacity_requests must be >= 1")
+        self.hierarchy = hierarchy
+        self.placement = placement
+        self.l1_capacity_requests = l1_capacity_requests
+        #: Placements actually used (diagnostics).
+        self.placements = {level: 0 for level in CacheLevel}
+
+    def place(self, in_flight_at_core: int) -> CacheLevel:
+        """Placement decision for a payload headed at a core that
+        already has *in_flight_at_core* undelivered payloads."""
+        level = self.placement
+        if level is CacheLevel.L1 and in_flight_at_core >= self.l1_capacity_requests:
+            # Pollution guard: overflow spills to L2.
+            level = CacheLevel.L2
+        self.placements[level] += 1
+        return level
+
+    def read_cost_ns(self, size_bytes: int, level: CacheLevel) -> float:
+        """Worker-side cost to pull the payload out of *level*."""
+        return self.hierarchy.read_cost_ns(size_bytes, level)
+
+    def __repr__(self) -> str:
+        return f"<DdioModel placement={self.placement.value}>"

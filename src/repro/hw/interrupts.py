@@ -1,0 +1,117 @@
+"""Interrupt-delivery mechanisms (§3.4.4, §5.1-3).
+
+Preemption needs an interrupt to reach the worker core.  The paper
+weighs three designs, all modelled here plus the ideal fourth:
+
+- :class:`PostedInterrupt` — Dune's low-overhead posted interrupt from
+  the local APIC timer: no delivery latency beyond the receipt cost
+  (1272 cycles).
+- :class:`LinuxSignalDelivery` — the vanilla Linux timer-signal path
+  (4193 cycles receipt).
+- :class:`PacketInterrupt` — the Stingray sends an interrupt *packet*:
+  2.56 µs of delivery latency before the receipt cost, which §3.4.4
+  rejects as too slow ("the worker could finish the task and move onto
+  the next task, causing the next task to be unnecessarily preempted").
+- :class:`DirectWireInterrupt` — the ideal SmartNIC's direct interrupt
+  line to host cores (§5.1-3): a few hundred ns, no packet build.
+
+Each delivery object targets a *process* (the worker loop); delivery
+ultimately calls ``process.interrupt(cause)`` after the modelled
+latency.  The receipt cost is reported via :attr:`receipt_cost_ns` so
+the interrupted worker can charge it to its own core.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from repro.config import (
+    ARM_HOST_ONE_WAY_NS,
+    TIMER_FIRE_DUNE_CYCLES,
+    TIMER_FIRE_LINUX_CYCLES,
+)
+from repro.hw.cpu import HardwareThread
+from repro.units import cycles_to_ns
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.process import Process
+
+
+class InterruptDelivery:
+    """Base class: deliver an interrupt to a worker process."""
+
+    #: Latency between send() and the ProcessInterrupt landing.
+    delivery_latency_ns: float = 0.0
+
+    def __init__(self, thread: HardwareThread):
+        self.thread = thread
+        self.sim = thread.sim
+        #: Interrupts delivered (diagnostics).
+        self.delivered = 0
+
+    @property
+    def receipt_cost_ns(self) -> float:  # pragma: no cover - abstract
+        """Cost charged to the interrupted thread before handling."""
+        raise NotImplementedError
+
+    def send(self, process: "Process", cause: Any = None) -> None:
+        """Deliver to *process* after :attr:`delivery_latency_ns`."""
+        if self.delivery_latency_ns <= 0:
+            self.delivered += 1
+            process.interrupt(cause)
+            return
+
+        def _arrive() -> None:
+            self.delivered += 1
+            process.interrupt(cause)
+
+        self.sim.call_in(self.delivery_latency_ns, _arrive)
+
+
+class PostedInterrupt(InterruptDelivery):
+    """Dune posted interrupt from the local APIC (§3.4.4)."""
+
+    delivery_latency_ns = 0.0
+
+    @property
+    def receipt_cost_ns(self) -> float:
+        return cycles_to_ns(TIMER_FIRE_DUNE_CYCLES, self.thread.clock_ghz)
+
+
+class LinuxSignalDelivery(InterruptDelivery):
+    """Linux timer-signal path (§3.4.4's expensive baseline)."""
+
+    delivery_latency_ns = 0.0
+
+    @property
+    def receipt_cost_ns(self) -> float:
+        return cycles_to_ns(TIMER_FIRE_LINUX_CYCLES, self.thread.clock_ghz)
+
+
+class PacketInterrupt(InterruptDelivery):
+    """NIC-constructed interrupt packet: 2.56 µs late (§3.4.4)."""
+
+    delivery_latency_ns = ARM_HOST_ONE_WAY_NS
+
+    def __init__(self, thread: HardwareThread,
+                 delivery_latency_ns: float = ARM_HOST_ONE_WAY_NS):
+        super().__init__(thread)
+        self.delivery_latency_ns = delivery_latency_ns
+
+    @property
+    def receipt_cost_ns(self) -> float:
+        # Lands as a normal posted interrupt once it arrives.
+        return cycles_to_ns(TIMER_FIRE_DUNE_CYCLES, self.thread.clock_ghz)
+
+
+class DirectWireInterrupt(InterruptDelivery):
+    """The ideal SmartNIC's direct interrupt line (§5.1-3)."""
+
+    def __init__(self, thread: HardwareThread,
+                 delivery_latency_ns: float = 200.0):
+        super().__init__(thread)
+        self.delivery_latency_ns = delivery_latency_ns
+
+    @property
+    def receipt_cost_ns(self) -> float:
+        return cycles_to_ns(TIMER_FIRE_DUNE_CYCLES, self.thread.clock_ghz)

@@ -1,0 +1,99 @@
+"""PCIe and CXL host-interconnect models (§3.3, §5.1-2).
+
+The Stingray attaches over PCIe x8; crucially, the ARM cores *cannot*
+initiate low-overhead PCIe transactions on the host, which is why all
+ARM<->host communication goes through 2.56 µs packet exchanges.  §5.1
+argues CXL-class coherent links (a few hundred ns one-way, shared
+memory) would remove that bottleneck; :class:`CxlLink` models that
+future path for the ideal-NIC system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+from repro.errors import HardwareError
+from repro.units import GBPS, SEC
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class PcieLink:
+    """A PCIe attachment: DMA reads/writes with round-trip latency.
+
+    Parameters
+    ----------
+    lanes:
+        Lane count (the PS225 uses x8).
+    gen3_per_lane_gbps:
+        Effective per-lane throughput after encoding (~7.88 Gbps for
+        Gen3).
+    rtt_ns:
+        Request/completion round-trip for a small read (~900 ns is
+        typical for Gen3 through a switch-less topology).
+    """
+
+    def __init__(self, sim: "Simulator", lanes: int = 8,
+                 gen3_per_lane_gbps: float = 7.88, rtt_ns: float = 900.0,
+                 name: str = "pcie"):
+        if lanes < 1:
+            raise HardwareError(f"lanes must be >= 1: {lanes}")
+        if rtt_ns < 0:
+            raise HardwareError(f"negative rtt: {rtt_ns}")
+        self.sim = sim
+        self.name = name
+        self.lanes = lanes
+        self.bandwidth_bps = lanes * gen3_per_lane_gbps * GBPS
+        self.rtt_ns = rtt_ns
+        self.coherent = False
+        #: DMA transactions issued (diagnostics).
+        self.transactions = 0
+
+    def transfer_ns(self, size_bytes: int) -> float:
+        """Pure data-movement time for *size_bytes*."""
+        if size_bytes < 0:
+            raise HardwareError(f"negative transfer size: {size_bytes}")
+        return size_bytes * 8 / self.bandwidth_bps * SEC
+
+    def dma_write(self, size_bytes: int,
+                  on_done: Callable[[], None]) -> None:
+        """Posted write: completes after half the RTT plus transfer."""
+        self.transactions += 1
+        delay = self.rtt_ns / 2 + self.transfer_ns(size_bytes)
+        self.sim.call_in(delay, on_done)
+
+    def dma_read(self, size_bytes: int,
+                 on_done: Callable[[], None]) -> None:
+        """Non-posted read: full RTT plus transfer."""
+        self.transactions += 1
+        delay = self.rtt_ns + self.transfer_ns(size_bytes)
+        self.sim.call_in(delay, on_done)
+
+    def __repr__(self) -> str:
+        return f"<PcieLink {self.name!r} x{self.lanes} rtt={self.rtt_ns}ns>"
+
+
+class CxlLink(PcieLink):
+    """A CXL.mem/.cache attachment: coherent, few-hundred-ns one-way.
+
+    §5.1-2: "With CXL, the SmartNIC writes its scheduling decisions
+    directly to host memory where polling workers see them.  When
+    workers finish, they set a completion flag and the SmartNIC snoops
+    on the resulting coherence traffic."  :meth:`coherent_write` models
+    that store-to-visible path.
+    """
+
+    def __init__(self, sim: "Simulator", lanes: int = 8,
+                 one_way_ns: float = 300.0, name: str = "cxl"):
+        super().__init__(sim, lanes=lanes, rtt_ns=one_way_ns * 2, name=name)
+        self.one_way_ns = one_way_ns
+        self.coherent = True
+
+    def coherent_write(self, on_visible: Callable[[], None]) -> None:
+        """A cacheline store that becomes visible one-way later."""
+        self.transactions += 1
+        self.sim.call_in(self.one_way_ns, on_visible)
+
+    def __repr__(self) -> str:
+        return f"<CxlLink {self.name!r} one_way={self.one_way_ns}ns>"

@@ -1,0 +1,193 @@
+"""The Broadcom Stingray SmartNIC model (§3.3).
+
+The PS225 presents network interfaces — each with a unique MAC — to
+both the host CPU (via SR-IOV virtual functions) and the on-board ARM
+CPU.  An internal fabric steers packets by destination MAC.  The two
+facts the paper's results rest on are captured directly:
+
+1. ARM <-> host traffic is *packet-switched* with a measured one-way
+   latency of 2.56 µs — "it is not possible to implement lower-overhead
+   communication as the ARM CPU and the host CPU do not share physical
+   memory" (§3.3).
+2. Any party can address any interface by MAC, so the NIC can steer
+   requests to specific host cores without cross-core coordination
+   (§3.2 requirement 1).
+
+:class:`StingraySmartNic` is a fabric of :class:`~repro.net.port.NetworkPort`
+objects tagged with a :class:`FabricDomain`; per-domain-pair latencies
+realize the published numbers.  Packets whose destination MAC is not a
+NIC-attached interface egress through the external uplink (toward the
+top-of-rack switch and the clients).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.config import StingrayConfig
+from repro.errors import DeliveryError, HardwareError
+from repro.net.addressing import IpAddress, MacAddress, mac_allocator
+from repro.net.packet import Packet
+from repro.net.port import NetworkPort
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class FabricDomain(enum.Enum):
+    """Which side of the NIC a port lives on."""
+
+    EXTERNAL = "external"   # the physical Ethernet ports / uplink
+    ARM = "arm"             # interfaces presented to the ARM SoC cores
+    HOST = "host"           # SR-IOV VFs presented to host CPU cores
+
+
+class _FabricPort:
+    """Internal record: a registered port plus its domain."""
+
+    __slots__ = ("port", "domain")
+
+    def __init__(self, port: NetworkPort, domain: FabricDomain):
+        self.port = port
+        self.domain = domain
+
+
+class StingraySmartNic:
+    """The SmartNIC: MAC-steered internal fabric + attached interfaces.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    config:
+        Latency/cost parameters (see :class:`repro.config.StingrayConfig`).
+    macs:
+        Optional shared MAC allocator (so clients and NIC interfaces
+        never collide); a private one is created otherwise.
+    """
+
+    def __init__(self, sim: "Simulator", config: StingrayConfig = StingrayConfig(),
+                 macs: Optional[Iterator[MacAddress]] = None,
+                 name: str = "stingray"):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.macs = macs if macs is not None else mac_allocator()
+        self._ports: Dict[MacAddress, _FabricPort] = {}
+        self._uplink: Optional[Callable[[Packet], None]] = None
+        #: Packets forwarded internally, by (src_domain, dst_domain).
+        self.forwarded: Dict[Tuple[FabricDomain, FabricDomain], int] = {}
+        #: Packets sent out the uplink.
+        self.egressed = 0
+        #: Packets dropped for having an unknown destination and no uplink.
+        self.undeliverable = 0
+
+    # -- interface management ---------------------------------------------------
+
+    def create_port(self, domain: FabricDomain, name: str,
+                    ip: Optional[IpAddress] = None) -> NetworkPort:
+        """Create an interface on *domain* with a fresh unique MAC.
+
+        The returned port's ``transmit`` feeds the NIC fabric; its
+        ``poll`` is how the owning CPU (ARM core or host worker)
+        receives traffic.
+        """
+        mac = next(self.macs)
+        port = NetworkPort(self.sim, mac, ip=ip,
+                           rx_ring_depth=self.config.ring_depth,
+                           name=f"{self.name}:{name}")
+        self._register(port, domain)
+        return port
+
+    def _register(self, port: NetworkPort, domain: FabricDomain) -> None:
+        if port.mac in self._ports:
+            raise HardwareError(f"duplicate MAC {port.mac} on {self.name}")
+        self._ports[port.mac] = _FabricPort(port, domain)
+        # The port transmits straight into the fabric; fabric latency is
+        # applied per destination, so the TX hop itself is free.
+        port.attach_tx(_FabricTx(self, domain))
+
+    def attach_uplink(self, deliver: Callable[[Packet], None]) -> None:
+        """Connect the external wire (toward the ToR switch/clients)."""
+        self._uplink = deliver
+
+    def ports_in(self, domain: FabricDomain) -> List[NetworkPort]:
+        """All interfaces registered on *domain*."""
+        return [fp.port for fp in self._ports.values() if fp.domain is domain]
+
+    def lookup(self, mac: MacAddress) -> Optional[NetworkPort]:
+        """The NIC-attached port owning *mac*, or None."""
+        fp = self._ports.get(mac)
+        return fp.port if fp is not None else None
+
+    # -- data path ----------------------------------------------------------------
+
+    def external_ingress(self, packet: Packet) -> None:
+        """Entry point for packets arriving on the physical wire."""
+        self._forward(packet, FabricDomain.EXTERNAL)
+
+    def _forward(self, packet: Packet, src_domain: FabricDomain) -> None:
+        packet.hop()
+        fp = self._ports.get(packet.eth.dst)
+        if fp is None:
+            self._egress(packet, src_domain)
+            return
+        latency = self._fabric_latency(src_domain, fp.domain)
+        key = (src_domain, fp.domain)
+        self.forwarded[key] = self.forwarded.get(key, 0) + 1
+        receive = fp.port.receive
+        if latency > 0:
+            self.sim.call_in(latency, lambda: receive(packet))
+        else:
+            receive(packet)
+
+    def _egress(self, packet: Packet, src_domain: FabricDomain) -> None:
+        if self._uplink is None:
+            self.undeliverable += 1
+            raise DeliveryError(
+                f"{self.name}: unknown destination {packet.eth.dst} "
+                "and no uplink attached")
+        self.egressed += 1
+        latency = self._fabric_latency(src_domain, FabricDomain.EXTERNAL)
+        uplink = self._uplink
+        if latency > 0:
+            self.sim.call_in(latency, lambda: uplink(packet))
+        else:
+            uplink(packet)
+
+    def _fabric_latency(self, src: FabricDomain, dst: FabricDomain) -> float:
+        """Latency of one fabric traversal between domains.
+
+        The ARM<->host number is the paper's measured 2.56 µs one-way
+        path (§3.3); external<->ARM/host are conventional NIC pipeline
+        and DMA costs.
+        """
+        cfg = self.config
+        if src is dst:
+            return cfg.fabric_intra_ns
+        pair = {src, dst}
+        if pair == {FabricDomain.ARM, FabricDomain.HOST}:
+            return cfg.one_way_latency_ns
+        if pair == {FabricDomain.EXTERNAL, FabricDomain.ARM}:
+            return cfg.fabric_external_arm_ns
+        if pair == {FabricDomain.EXTERNAL, FabricDomain.HOST}:
+            return cfg.fabric_external_host_ns
+        raise HardwareError(f"unmapped fabric pair {src} -> {dst}")
+
+    def __repr__(self) -> str:
+        counts = {d.value: len(self.ports_in(d)) for d in FabricDomain}
+        return f"<StingraySmartNic {self.name!r} ports={counts}>"
+
+
+class _FabricTx:
+    """Adapter giving ports a Link-like ``transmit`` into the fabric."""
+
+    __slots__ = ("nic", "domain")
+
+    def __init__(self, nic: StingraySmartNic, domain: FabricDomain):
+        self.nic = nic
+        self.domain = domain
+
+    def transmit(self, packet: Packet) -> None:
+        self.nic._forward(packet, self.domain)

@@ -1,0 +1,15 @@
+"""Measurement: latency reservoirs, summaries, run collectors."""
+
+from repro.metrics.reservoir import LatencyReservoir
+from repro.metrics.summary import LatencySummary, ThroughputSummary, RunMetrics
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = [
+    "LatencyReservoir",
+    "LatencySummary",
+    "ThroughputSummary",
+    "RunMetrics",
+    "MetricsCollector",
+    "TimeSeries",
+]

@@ -1,0 +1,146 @@
+"""Per-run measurement collection.
+
+A :class:`MetricsCollector` is shared between the load generator (which
+records arrivals) and the system under test (which records completions
+and drops).  Samples from the warmup window are excluded so queues
+reach steady state before measurement — the standard methodology for
+open-loop tail-latency experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.errors import ExperimentError
+from repro.metrics.reservoir import LatencyReservoir
+from repro.metrics.summary import LatencySummary, RunMetrics, ThroughputSummary
+from repro.runtime.request import Request
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.worker import WorkerCore
+    from repro.sim.engine import Simulator
+
+
+class MetricsCollector:
+    """Collects arrivals, completions, drops, and worker statistics.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    warmup_ns:
+        Requests *arriving* before this time are excluded from latency
+        and throughput statistics (they still run, filling the queues).
+    """
+
+    def __init__(self, sim: "Simulator", warmup_ns: float = 0.0):
+        if warmup_ns < 0:
+            raise ExperimentError(f"negative warmup: {warmup_ns}")
+        self.sim = sim
+        self.warmup_ns = warmup_ns
+        self.latency = LatencyReservoir()
+        self.slowdown = LatencyReservoir()
+        # Raw counters (warmup excluded unless *_all).
+        self.generated = 0
+        self.generated_all = 0
+        self.completed = 0
+        self.completed_all = 0
+        #: Completions happening inside the measurement window,
+        #: regardless of when the request arrived — the correct
+        #: numerator for steady-state throughput under overload (the
+        #: arrival-filtered count undercounts as the backlog grows).
+        self.completed_in_window = 0
+        self.dropped = 0
+        self.preemptions = 0
+        self._measure_start: Optional[float] = None
+        self._workers: List["WorkerCore"] = []
+        self._worker_attach_time = 0.0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_workers(self, workers: List["WorkerCore"]) -> None:
+        """Register worker cores for utilization/wait statistics."""
+        self._workers = list(workers)
+        self._worker_attach_time = self.sim.now
+
+    # -- recording ---------------------------------------------------------
+
+    def _in_measurement(self, request: Request) -> bool:
+        return request.arrival_ns >= self.warmup_ns
+
+    def record_arrival(self, request: Request) -> None:
+        """Count one generated request (the load generator calls this)."""
+        self.generated_all += 1
+        if self._in_measurement(request):
+            self.generated += 1
+            if self._measure_start is None:
+                self._measure_start = request.arrival_ns
+
+    def record_completion(self, request: Request) -> None:
+        """Record one response delivery and its latency sample."""
+        if request.completion_ns is None:
+            request.complete(self.sim.now)
+        self.completed_all += 1
+        if request.completion_ns >= self.warmup_ns:
+            self.completed_in_window += 1
+        if not self._in_measurement(request):
+            return
+        self.completed += 1
+        self.latency.add(request.latency_ns)
+        if request.service_ns > 0:
+            self.slowdown.add(request.slowdown)
+        self.preemptions += request.preemptions
+
+    def record_drop(self, request: Request) -> None:
+        """Count one dropped request."""
+        if self._in_measurement(request):
+            self.dropped += 1
+
+    # -- summarization ------------------------------------------------------
+
+    def summarize(self, offered_rps: float) -> RunMetrics:
+        """Build the final :class:`RunMetrics` at the end of a run."""
+        now = self.sim.now
+        window_ns = max(0.0, now - self.warmup_ns)
+        achieved = (self.completed_in_window / window_ns * SEC) \
+            if window_ns > 0 else 0.0
+        throughput = ThroughputSummary(
+            offered_rps=offered_rps,
+            achieved_rps=achieved,
+            generated=self.generated,
+            completed=self.completed,
+            dropped=self.dropped,
+            window_ns=window_ns,
+        )
+        latency = (LatencySummary.from_reservoir(self.latency)
+                   if not self.latency.empty else None)
+        mean_slowdown = (self.slowdown.mean()
+                         if not self.slowdown.empty else float("nan"))
+        return RunMetrics(
+            latency=latency,
+            throughput=throughput,
+            preemptions=self.preemptions,
+            mean_slowdown=mean_slowdown,
+            worker_wait_fraction=self.worker_wait_fraction(),
+        )
+
+    def worker_wait_fraction(self) -> float:
+        """Fraction of worker-time spent waiting for work (Figure 6)."""
+        if not self._workers:
+            return 0.0
+        elapsed = self.sim.now - self._worker_attach_time
+        if elapsed <= 0:
+            return 0.0
+        # Close out any still-open wait intervals without mutating them.
+        total_wait = 0.0
+        for worker in self._workers:
+            wait = worker.wait_ns
+            if worker._wait_started is not None:
+                wait += self.sim.now - worker._wait_started
+            total_wait += wait
+        return total_wait / (elapsed * len(self._workers))
+
+    def __repr__(self) -> str:
+        return (f"<MetricsCollector completed={self.completed} "
+                f"dropped={self.dropped} samples={len(self.latency)}>")

@@ -1,0 +1,86 @@
+"""Exact-percentile latency reservoirs.
+
+Simulation runs complete at most a few hundred thousand requests, so we
+keep every sample and compute exact percentiles — no sketch error in
+the tail, which matters when the statistic of record is p99 ("we refer
+to the 99th percentile latency as the tail latency", §4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+class LatencyReservoir:
+    """Stores every sample; computes exact quantiles on demand."""
+
+    def __init__(self):
+        self._samples: List[float] = []
+        self._sorted: Optional[np.ndarray] = None
+
+    def add(self, value: float) -> None:
+        """Record one sample (ns)."""
+        self._samples.append(value)
+        self._sorted = None  # invalidate cache
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Record many samples at once."""
+        self._samples.extend(values)
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def empty(self) -> bool:
+        """True while no samples have been recorded."""
+        return not self._samples
+
+    def _view(self) -> np.ndarray:
+        if self._sorted is None:
+            self._sorted = np.sort(np.asarray(self._samples, dtype=np.float64))
+        return self._sorted
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile, ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ExperimentError(f"percentile out of range: {p}")
+        if not self._samples:
+            raise ExperimentError("percentile of an empty reservoir")
+        view = self._view()
+        # 'lower' interpolation: the observed sample at or below rank —
+        # what a latency-measurement tool actually reports.  The tiny
+        # epsilon keeps exact ranks (e.g. p99.9 of 1000) from being
+        # pushed up a slot by float rounding in p/100*n.
+        rank = p / 100.0 * len(view)
+        index = min(len(view) - 1, int(np.ceil(rank - 1e-9)) - 1)
+        return float(view[max(0, index)])
+
+    def mean(self) -> float:
+        """Arithmetic mean of all samples."""
+        if not self._samples:
+            raise ExperimentError("mean of an empty reservoir")
+        return float(np.mean(self._view()))
+
+    def maximum(self) -> float:
+        """Largest recorded sample."""
+        if not self._samples:
+            raise ExperimentError("max of an empty reservoir")
+        return float(self._view()[-1])
+
+    def minimum(self) -> float:
+        """Smallest recorded sample."""
+        if not self._samples:
+            raise ExperimentError("min of an empty reservoir")
+        return float(self._view()[0])
+
+    def samples(self) -> np.ndarray:
+        """A copy of all samples (unsorted order not preserved)."""
+        return self._view().copy()
+
+    def __repr__(self) -> str:
+        return f"<LatencyReservoir n={len(self._samples)}>"

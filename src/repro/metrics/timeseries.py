@@ -1,0 +1,47 @@
+"""Bucketed time series for rate-over-time diagnostics."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ExperimentError
+from repro.units import SEC
+
+
+class TimeSeries:
+    """Counts events into fixed-width time buckets.
+
+    Useful for spotting warmup transients and saturation onset when a
+    run's aggregate numbers look suspicious.
+    """
+
+    def __init__(self, bucket_ns: float):
+        if bucket_ns <= 0:
+            raise ExperimentError(f"bucket width must be positive: {bucket_ns}")
+        self.bucket_ns = bucket_ns
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, time_ns: float, count: int = 1) -> None:
+        """Add *count* events at *time_ns*."""
+        index = int(time_ns // self.bucket_ns)
+        self._buckets[index] = self._buckets.get(index, 0) + count
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """``(bucket_start_ns, count)`` pairs in time order."""
+        return [(index * self.bucket_ns, self._buckets[index])
+                for index in sorted(self._buckets)]
+
+    def rates_rps(self) -> List[Tuple[float, float]]:
+        """``(bucket_start_ns, rate_rps)`` pairs in time order."""
+        scale = SEC / self.bucket_ns
+        return [(start, count * scale) for start, count in self.buckets()]
+
+    def total(self) -> int:
+        """Events recorded across all buckets."""
+        return sum(self._buckets.values())
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return f"<TimeSeries buckets={len(self._buckets)} total={self.total()}>"

@@ -1,0 +1,139 @@
+"""MAC / IPv4 addresses and flow 5-tuples.
+
+Addresses are small immutable value objects.  The Stingray exposes "a
+network interface, each with a unique MAC address, to both the host
+server CPU and the ARM CPU" (§3.3); steering inside the simulated NIC
+is by destination MAC, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from repro.errors import AddressError
+
+
+class MacAddress:
+    """A 48-bit Ethernet MAC address."""
+
+    __slots__ = ("value",)
+
+    BROADCAST_VALUE = (1 << 48) - 1
+
+    def __init__(self, value: int):
+        if not 0 <= value < (1 << 48):
+            raise AddressError(f"MAC value out of range: {value:#x}")
+        self.value = value
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff`` notation."""
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise AddressError(f"malformed MAC {text!r}")
+        try:
+            octets = [int(p, 16) for p in parts]
+        except ValueError as exc:
+            raise AddressError(f"malformed MAC {text!r}") from exc
+        if any(not 0 <= o <= 0xFF for o in octets):
+            raise AddressError(f"malformed MAC {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def broadcast(cls) -> "MacAddress":
+        return cls(cls.BROADCAST_VALUE)
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for ff:ff:ff:ff:ff:ff."""
+        return self.value == self.BROADCAST_VALUE
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in range(40, -8, -8)]
+        return ":".join(f"{o:02x}" for o in octets)
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MacAddress) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash((MacAddress, self.value))
+
+
+class _MacAllocator:
+    """Hands out unique locally-administered MACs per simulation."""
+
+    def __init__(self, oui: int = 0x02_00_5E):
+        self._oui = oui
+        self._next = 1
+
+    def allocate(self) -> MacAddress:
+        if self._next >= (1 << 24):
+            raise AddressError("MAC allocator exhausted")
+        value = (self._oui << 24) | self._next
+        self._next += 1
+        return MacAddress(value)
+
+
+def mac_allocator() -> Iterator[MacAddress]:
+    """Infinite iterator of unique MAC addresses."""
+    alloc = _MacAllocator()
+    while True:
+        yield alloc.allocate()
+
+
+class IpAddress:
+    """A 32-bit IPv4 address."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not 0 <= value < (1 << 32):
+            raise AddressError(f"IPv4 value out of range: {value:#x}")
+        self.value = value
+
+    @classmethod
+    def parse(cls, text: str) -> "IpAddress":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise AddressError(f"malformed IPv4 {text!r}")
+        try:
+            octets = [int(p, 10) for p in parts]
+        except ValueError as exc:
+            raise AddressError(f"malformed IPv4 {text!r}") from exc
+        if any(not 0 <= o <= 255 for o in octets):
+            raise AddressError(f"malformed IPv4 {text!r}")
+        return cls((octets[0] << 24) | (octets[1] << 16)
+                   | (octets[2] << 8) | octets[3])
+
+    def __str__(self) -> str:
+        return ".".join(str((self.value >> s) & 0xFF) for s in (24, 16, 8, 0))
+
+    def __repr__(self) -> str:
+        return f"IpAddress('{self}')"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IpAddress) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash((IpAddress, self.value))
+
+
+class FiveTuple(NamedTuple):
+    """The flow identity RSS hashes over (§2.1: 'hash packet 5-tuples')."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    @classmethod
+    def of(cls, src_ip: IpAddress, dst_ip: IpAddress, src_port: int,
+           dst_port: int, protocol: int = 17) -> "FiveTuple":
+        return cls(src_ip.value, dst_ip.value, src_port, dst_port, protocol)

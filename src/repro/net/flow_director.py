@@ -1,0 +1,114 @@
+"""Flow-Director-style exact-match steering.
+
+MICA (§2.1) uses Intel Flow Director "to steer requests to cores based
+on the key they access" — an exact-match rule table consulted before
+RSS.  We model a priority-ordered match table over packet fields plus a
+pluggable key extractor for application-level (key-based) steering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.errors import ConfigError
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """One match-action rule.
+
+    ``None`` fields are wildcards.  ``queue`` is the action.
+    """
+
+    queue: int
+    dst_port: Optional[int] = None
+    src_port: Optional[int] = None
+    dst_ip: Optional[int] = None
+    src_ip: Optional[int] = None
+    priority: int = 0
+
+    def matches(self, packet: Packet) -> bool:
+        """True when every non-wildcard field equals the packet's."""
+        if packet.ip is None or packet.udp is None:
+            return False
+        if self.dst_port is not None and packet.udp.dst_port != self.dst_port:
+            return False
+        if self.src_port is not None and packet.udp.src_port != self.src_port:
+            return False
+        if self.dst_ip is not None and packet.ip.dst.value != self.dst_ip:
+            return False
+        if self.src_ip is not None and packet.ip.src.value != self.src_ip:
+            return False
+        return True
+
+
+class FlowDirector:
+    """Rule table with an optional key-based default steering function.
+
+    Parameters
+    ----------
+    n_queues:
+        Destination queue count.
+    key_extractor:
+        Optional function packet -> hashable key.  When no rule matches
+        and an extractor is present, the key hash picks the queue —
+        MICA's EREW partitioning, where each key maps to exactly one
+        core.
+    fallback:
+        Queue used when nothing else applies.
+    """
+
+    MAX_RULES = 8192  # hardware tables are finite
+
+    def __init__(self, n_queues: int,
+                 key_extractor: Optional[Callable[[Packet], Any]] = None,
+                 fallback: int = 0):
+        if n_queues < 1:
+            raise ConfigError(f"n_queues must be >= 1, got {n_queues}")
+        if not 0 <= fallback < n_queues:
+            raise ConfigError(f"fallback queue {fallback} out of range")
+        self.n_queues = n_queues
+        self.key_extractor = key_extractor
+        self.fallback = fallback
+        self._rules: List[FlowRule] = []
+        self.counts = [0] * n_queues
+
+    def add_rule(self, rule: FlowRule) -> None:
+        """Install *rule*; higher ``priority`` wins, FIFO among equals."""
+        if not 0 <= rule.queue < self.n_queues:
+            raise ConfigError(f"rule queue {rule.queue} out of range")
+        if len(self._rules) >= self.MAX_RULES:
+            raise ConfigError(f"flow table full ({self.MAX_RULES} rules)")
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: -r.priority)
+
+    def steer(self, packet: Packet) -> int:
+        """Queue index for *packet*."""
+        for rule in self._rules:
+            if rule.matches(packet):
+                self.counts[rule.queue] += 1
+                return rule.queue
+        if self.key_extractor is not None:
+            key = self.key_extractor(packet)
+            if key is not None:
+                # Stable hash independent of PYTHONHASHSEED for ints/strs.
+                if isinstance(key, int):
+                    digest = key
+                else:
+                    digest = sum((i + 1) * b for i, b in
+                                 enumerate(str(key).encode("utf-8")))
+                queue = digest % self.n_queues
+                self.counts[queue] += 1
+                return queue
+        self.counts[self.fallback] += 1
+        return self.fallback
+
+    @property
+    def n_rules(self) -> int:
+        """Installed rule count."""
+        return len(self._rules)
+
+    def __repr__(self) -> str:
+        return f"<FlowDirector queues={self.n_queues} rules={len(self._rules)}>"

@@ -1,0 +1,119 @@
+"""Point-to-point links with propagation latency and serialization.
+
+A :class:`Link` connects a transmitter to a receive callback (usually a
+:class:`~repro.net.port.NetworkPort`'s RX ring).  Transmissions are
+serialized — a packet occupies the wire for ``size/bandwidth`` — and
+then propagate for a fixed latency.  This is the standard
+store-and-forward link model and gives correct back-to-back behaviour
+under bursts without modelling individual bytes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, TYPE_CHECKING
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet
+from repro.units import GBPS, wire_time_ns
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class Link:
+    """A unidirectional wire with bandwidth and propagation delay.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    latency_ns:
+        Propagation delay.
+    bandwidth_gbps:
+        Serialization rate; ``None`` for an infinitely fast wire (used
+        where the latency number already includes serialization, like
+        the paper's measured 2.56 µs ARM<->host path).
+    deliver:
+        Called with each packet when it fully arrives.
+    """
+
+    def __init__(self, sim: "Simulator", latency_ns: float,
+                 bandwidth_gbps: Optional[float] = None,
+                 deliver: Optional[Callable[[Packet], None]] = None,
+                 name: str = ""):
+        if latency_ns < 0:
+            raise NetworkError(f"negative link latency: {latency_ns}")
+        if bandwidth_gbps is not None and bandwidth_gbps <= 0:
+            raise NetworkError(f"non-positive bandwidth: {bandwidth_gbps}")
+        self.sim = sim
+        self.latency_ns = latency_ns
+        self.bandwidth_bps = (bandwidth_gbps * GBPS
+                              if bandwidth_gbps is not None else None)
+        self.deliver = deliver
+        self.name = name
+        #: Absolute time at which the transmitter becomes free again.
+        self._tx_free_at = 0.0
+        #: Packets ever transmitted (diagnostics).
+        self.tx_count = 0
+        #: Bytes ever transmitted (diagnostics).
+        self.tx_bytes = 0
+        self._pending: Deque[Any] = deque()  # diagnostics only
+
+    def connect(self, deliver: Callable[[Packet], None]) -> None:
+        """Attach (or replace) the receive callback."""
+        self.deliver = deliver
+
+    def serialization_ns(self, packet: Packet) -> float:
+        """Time *packet* occupies the transmitter."""
+        if self.bandwidth_bps is None:
+            return 0.0
+        return wire_time_ns(packet.size_bytes, self.bandwidth_bps)
+
+    def transmit(self, packet: Packet) -> float:
+        """Send *packet*; returns the absolute delivery time.
+
+        Models an output queue with infinite depth at the transmitter:
+        if the wire is busy, the packet starts serializing when the wire
+        frees up.  (Finite NIC rings bound queueing before the link, in
+        :class:`~repro.net.port.NetworkPort`.)
+        """
+        if self.deliver is None:
+            raise NetworkError(f"link {self.name!r} has no receiver")
+        now = self.sim.now
+        start = max(now, self._tx_free_at)
+        ser = self.serialization_ns(packet)
+        done_serializing = start + ser
+        self._tx_free_at = done_serializing
+        arrive_at = done_serializing + self.latency_ns
+        self.tx_count += 1
+        self.tx_bytes += packet.size_bytes
+        deliver = self.deliver
+        if arrive_at > now:
+            self.sim.call_at(arrive_at, lambda: deliver(packet))
+        else:
+            deliver(packet)
+        return arrive_at
+
+    @property
+    def busy(self) -> bool:
+        """True if a transmission is in flight on the wire right now."""
+        return self._tx_free_at > self.sim.now
+
+    def __repr__(self) -> str:
+        bw = (f"{self.bandwidth_bps / GBPS:g}Gbps"
+              if self.bandwidth_bps else "inf")
+        return f"<Link {self.name!r} {self.latency_ns}ns {bw} tx={self.tx_count}>"
+
+
+class DuplexLink:
+    """A pair of :class:`Link`s forming a full-duplex wire."""
+
+    def __init__(self, sim: "Simulator", latency_ns: float,
+                 bandwidth_gbps: Optional[float] = None, name: str = ""):
+        self.a_to_b = Link(sim, latency_ns, bandwidth_gbps, name=f"{name}:a->b")
+        self.b_to_a = Link(sim, latency_ns, bandwidth_gbps, name=f"{name}:b->a")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<DuplexLink {self.name!r}>"

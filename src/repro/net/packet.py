@@ -1,0 +1,171 @@
+"""Packets and protocol headers.
+
+Packets carry structured header objects plus an application payload.
+The simulator never serializes payload bytes — requests are modelled at
+request granularity — but header sizes are accounted so that link
+serialization delays and the paper's Gbps arithmetic are faithful.
+
+Payload kinds mirror the message types of §3.4:
+
+- :class:`RequestPayload` — a client request (or a dispatcher->worker
+  assignment carrying that request).
+- :class:`ResponsePayload` — a worker->client response.
+- :class:`NotifyPayload` — a worker->dispatcher completion/preemption
+  notification.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import NetworkError
+from repro.net.addressing import FiveTuple, IpAddress, MacAddress
+
+ETH_HEADER_BYTES = 14
+IPV4_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+HEADERS_BYTES = ETH_HEADER_BYTES + IPV4_HEADER_BYTES + UDP_HEADER_BYTES
+
+#: IANA protocol number for UDP; all traffic in the paper is UDP (§4).
+PROTO_UDP = 17
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    """Layer-2 header; the Stingray steers on ``dst`` (§3.3)."""
+
+    src: MacAddress
+    dst: MacAddress
+    ethertype: int = 0x0800  # IPv4
+
+
+@dataclass(frozen=True)
+class Ipv4Header:
+    """Minimal IPv4 header (addresses + TTL)."""
+
+    src: IpAddress
+    dst: IpAddress
+    ttl: int = 64
+    protocol: int = PROTO_UDP
+
+
+@dataclass(frozen=True)
+class UdpHeader:
+    """UDP ports; dataplane systems demux requests on these."""
+
+    src_port: int
+    dst_port: int
+
+    def __post_init__(self):
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise NetworkError(f"UDP port out of range: {port}")
+
+
+@dataclass
+class RequestPayload:
+    """An application request travelling in a packet.
+
+    ``request`` is the :class:`repro.runtime.request.Request` lifecycle
+    object; it stays identical across hops so latency accounting spans
+    the whole path.
+    """
+
+    request: Any
+    kind: str = "request"
+
+
+@dataclass
+class ResponsePayload:
+    """A worker's response to the client."""
+
+    request: Any
+    kind: str = "response"
+
+
+@dataclass
+class NotifyPayload:
+    """Worker -> dispatcher notification (§3.4): finished or preempted."""
+
+    request: Any
+    worker_id: int
+    #: "finished" or "preempted"
+    outcome: str = "finished"
+    kind: str = "notify"
+
+
+@dataclass
+class Packet:
+    """A simulated network packet.
+
+    Attributes
+    ----------
+    eth, ip, udp:
+        Protocol headers (ip/udp optional for raw L2 control frames).
+    payload:
+        One of the payload dataclasses above, or anything else for
+        tests.
+    payload_bytes:
+        Modeled payload size; total wire size adds header overhead.
+    """
+
+    eth: EthernetHeader
+    payload: Any
+    ip: Optional[Ipv4Header] = None
+    udp: Optional[UdpHeader] = None
+    payload_bytes: int = 64
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Hop counter incremented by switches; loops are a model bug.
+    hops: int = 0
+
+    MAX_HOPS = 16
+
+    @property
+    def size_bytes(self) -> int:
+        """Total modeled wire size including headers."""
+        size = ETH_HEADER_BYTES + self.payload_bytes
+        if self.ip is not None:
+            size += IPV4_HEADER_BYTES
+        if self.udp is not None:
+            size += UDP_HEADER_BYTES
+        return size
+
+    @property
+    def flow(self) -> FiveTuple:
+        """The 5-tuple RSS hashes over; requires IP+UDP headers."""
+        if self.ip is None or self.udp is None:
+            raise NetworkError(f"packet {self.packet_id} has no L3/L4 headers")
+        return FiveTuple(self.ip.src.value, self.ip.dst.value,
+                         self.udp.src_port, self.udp.dst_port,
+                         self.ip.protocol)
+
+    def hop(self) -> None:
+        """Record one switch traversal; raises on forwarding loops."""
+        self.hops += 1
+        if self.hops > self.MAX_HOPS:
+            raise NetworkError(
+                f"packet {self.packet_id} exceeded {self.MAX_HOPS} hops "
+                "(forwarding loop?)")
+
+    def __repr__(self) -> str:
+        kind = getattr(self.payload, "kind", type(self.payload).__name__)
+        return (f"<Packet #{self.packet_id} {kind} "
+                f"{self.eth.src}->{self.eth.dst} {self.size_bytes}B>")
+
+
+def make_udp_packet(src_mac: MacAddress, dst_mac: MacAddress,
+                    src_ip: IpAddress, dst_ip: IpAddress,
+                    src_port: int, dst_port: int, payload: Any,
+                    payload_bytes: int = 64) -> Packet:
+    """Convenience constructor for a fully-headed UDP packet."""
+    return Packet(
+        eth=EthernetHeader(src=src_mac, dst=dst_mac),
+        ip=Ipv4Header(src=src_ip, dst=dst_ip),
+        udp=UdpHeader(src_port=src_port, dst_port=dst_port),
+        payload=payload,
+        payload_bytes=payload_bytes,
+    )

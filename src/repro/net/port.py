@@ -1,0 +1,99 @@
+"""NIC ports: an RX ring, a TX path, and a MAC address.
+
+Every polling entity in the paper — client machines, the ARM networking
+subsystem, each SR-IOV worker interface — owns a :class:`NetworkPort`.
+The RX ring is a bounded FIFO (tail-drop on overflow, like a real
+descriptor ring); polling is event-based, so an idle poller costs no
+simulation events.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import NetworkError
+from repro.net.addressing import IpAddress, MacAddress
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.primitives import Store
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event
+
+
+class NetworkPort:
+    """One network interface: MAC, RX ring, and an attached TX link.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    mac:
+        This interface's address.
+    ip:
+        Optional IPv4 address for building L3 packets.
+    rx_ring_depth:
+        RX descriptor-ring depth; arrivals beyond it are dropped and
+        counted in :attr:`rx_dropped`.
+    """
+
+    def __init__(self, sim: "Simulator", mac: MacAddress,
+                 ip: Optional[IpAddress] = None,
+                 rx_ring_depth: int = 1024, name: str = ""):
+        self.sim = sim
+        self.mac = mac
+        self.ip = ip
+        self.name = name or str(mac)
+        self.rx_ring: Store = Store(sim, capacity=rx_ring_depth,
+                                    name=f"{self.name}:rx")
+        self._tx_link: Optional[Link] = None
+        #: Packets dropped at RX because the ring was full.
+        self.rx_dropped = 0
+        #: Packets received (accepted into the ring).
+        self.rx_count = 0
+        #: Packets transmitted.
+        self.tx_count = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach_tx(self, link: Link) -> None:
+        """Connect this port's transmitter to *link*."""
+        self._tx_link = link
+
+    # -- data path ----------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """Deliver *packet* into the RX ring (link-side entry point)."""
+        if self.rx_ring.try_put(packet):
+            self.rx_count += 1
+        else:
+            self.rx_dropped += 1
+
+    def poll(self) -> "Event":
+        """Event-valued receive of the next packet (blocks while empty)."""
+        return self.rx_ring.get()
+
+    def try_poll(self) -> tuple:
+        """Non-blocking poll: ``(True, packet)`` or ``(False, None)``."""
+        return self.rx_ring.try_get()
+
+    def cancel_poll(self, event: "Event") -> None:
+        """Withdraw a pending :meth:`poll` (poller was preempted)."""
+        self.rx_ring.cancel_get(event)
+
+    def transmit(self, packet: Packet) -> None:
+        """Send *packet* out the attached TX link."""
+        if self._tx_link is None:
+            raise NetworkError(f"port {self.name!r} has no TX link attached")
+        self.tx_count += 1
+        self._tx_link.transmit(packet)
+
+    @property
+    def rx_depth(self) -> int:
+        """Packets currently waiting in the RX ring."""
+        return len(self.rx_ring)
+
+    def __repr__(self) -> str:
+        return (f"<NetworkPort {self.name!r} mac={self.mac} "
+                f"rx={self.rx_depth} dropped={self.rx_dropped}>")

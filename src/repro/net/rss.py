@@ -1,0 +1,97 @@
+"""Receive Side Scaling (RSS).
+
+The steering mechanism IX and ZygOS rely on (§2.1): the NIC Toeplitz-
+hashes each packet's 5-tuple and indexes an indirection table to pick a
+destination queue/core.  Load imbalance between queues is inherent to
+hashing — §2.2 problem 1 — and the tests quantify it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.net.checksum import DEFAULT_RSS_KEY, toeplitz_hash
+from repro.net.packet import Packet
+
+
+class RssSteering:
+    """Toeplitz RSS with an indirection table.
+
+    Parameters
+    ----------
+    n_queues:
+        Number of destination queues (worker cores).
+    table_size:
+        Indirection-table entries (128 is the common hardware default).
+    key:
+        The 40-byte RSS secret key.
+    weights:
+        Optional relative queue weights used to populate the table —
+        real drivers rebalance the table this way.  Defaults to uniform.
+    """
+
+    def __init__(self, n_queues: int, table_size: int = 128,
+                 key: bytes = DEFAULT_RSS_KEY,
+                 weights: Optional[Sequence[float]] = None):
+        if n_queues < 1:
+            raise ConfigError(f"n_queues must be >= 1, got {n_queues}")
+        if table_size < n_queues:
+            raise ConfigError(
+                f"table_size {table_size} < n_queues {n_queues}")
+        self.n_queues = n_queues
+        self.key = key
+        self.table: List[int] = self._build_table(table_size, weights)
+        #: Per-queue steering counts (diagnostics / imbalance studies).
+        self.counts = [0] * n_queues
+
+    def _build_table(self, table_size: int,
+                     weights: Optional[Sequence[float]]) -> List[int]:
+        if weights is None:
+            return [i % self.n_queues for i in range(table_size)]
+        if len(weights) != self.n_queues:
+            raise ConfigError(
+                f"weights length {len(weights)} != n_queues {self.n_queues}")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ConfigError("weights must be non-negative and sum > 0")
+        # Largest-remainder apportionment of table slots to queues.
+        total = float(sum(weights))
+        exact = [w / total * table_size for w in weights]
+        slots = [int(e) for e in exact]
+        remainders = sorted(range(self.n_queues),
+                            key=lambda q: exact[q] - slots[q], reverse=True)
+        shortfall = table_size - sum(slots)
+        for q in remainders[:shortfall]:
+            slots[q] += 1
+        # Round-robin interleave so adjacent hash buckets do not all
+        # land on one queue.
+        table: List[int] = []
+        remaining = slots[:]
+        while len(table) < table_size:
+            for queue in range(self.n_queues):
+                if remaining[queue] > 0 and len(table) < table_size:
+                    table.append(queue)
+                    remaining[queue] -= 1
+        return table
+
+    def steer(self, packet: Packet) -> int:
+        """Queue index for *packet* (Toeplitz over its 5-tuple)."""
+        return self.steer_flow(packet.flow)
+
+    def steer_flow(self, flow) -> int:
+        """Queue index for a :class:`~repro.net.addressing.FiveTuple`."""
+        bucket = toeplitz_hash(flow, self.key) % len(self.table)
+        queue = self.table[bucket]
+        self.counts[queue] += 1
+        return queue
+
+    def imbalance(self) -> float:
+        """Max/mean ratio of per-queue counts so far (1.0 = perfect)."""
+        total = sum(self.counts)
+        if total == 0:
+            return 1.0
+        mean = total / self.n_queues
+        return max(self.counts) / mean
+
+    def __repr__(self) -> str:
+        return f"<RssSteering queues={self.n_queues} table={len(self.table)}>"

@@ -1,0 +1,97 @@
+"""SR-IOV virtual functions.
+
+§3.4.2: "SR-IOV is used to create enough virtual network interfaces
+such that there is one virtual interface per worker."  A
+:class:`SriovPool` carves virtual functions (each a full
+:class:`~repro.net.port.NetworkPort` with its own MAC) out of a
+physical NIC and registers them with the NIC's internal switch so MAC
+steering reaches them directly — the property that lets the SmartNIC
+address requests to specific cores without inter-core coordination
+(§3.2 requirement 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.net.addressing import IpAddress, MacAddress
+from repro.net.port import NetworkPort
+from repro.net.switch import LearningSwitch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class SriovFunction:
+    """One virtual function: a port plus its identity in the pool."""
+
+    def __init__(self, index: int, port: NetworkPort):
+        self.index = index
+        self.port = port
+
+    @property
+    def mac(self) -> MacAddress:
+        """The VF's unique MAC address."""
+        return self.port.mac
+
+    def __repr__(self) -> str:
+        return f"<SriovFunction vf{self.index} mac={self.port.mac}>"
+
+
+class SriovPool:
+    """Allocates virtual functions and binds them to the NIC switch.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    switch:
+        The NIC-internal switch that steers by destination MAC.
+    macs:
+        An iterator of fresh MAC addresses.
+    max_vfs:
+        Hardware VF limit (the PS225 exposes up to 128 VFs).
+    rx_ring_depth:
+        Descriptor ring depth of each VF.
+    """
+
+    def __init__(self, sim: "Simulator", switch: LearningSwitch,
+                 macs: Iterator[MacAddress], max_vfs: int = 128,
+                 rx_ring_depth: int = 1024, name: str = "sriov"):
+        if max_vfs < 1:
+            raise ConfigError(f"max_vfs must be >= 1, got {max_vfs}")
+        self.sim = sim
+        self.switch = switch
+        self.name = name
+        self.max_vfs = max_vfs
+        self.rx_ring_depth = rx_ring_depth
+        self._macs = macs
+        self._functions: List[SriovFunction] = []
+
+    def allocate(self, ip: Optional[IpAddress] = None) -> SriovFunction:
+        """Create one VF, register it with the switch, and return it."""
+        if len(self._functions) >= self.max_vfs:
+            raise ConfigError(
+                f"SR-IOV pool {self.name!r} exhausted ({self.max_vfs} VFs)")
+        index = len(self._functions)
+        mac = next(self._macs)
+        port = NetworkPort(self.sim, mac, ip=ip,
+                           rx_ring_depth=self.rx_ring_depth,
+                           name=f"{self.name}:vf{index}")
+        switch_port = self.switch.add_port(port.name, port.receive)
+        self.switch.bind(mac, switch_port)
+        vf = SriovFunction(index, port)
+        self._functions.append(vf)
+        return vf
+
+    @property
+    def functions(self) -> List[SriovFunction]:
+        """A copy of the allocated VFs, in allocation order."""
+        return list(self._functions)
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __repr__(self) -> str:
+        return f"<SriovPool {self.name!r} vfs={len(self._functions)}/{self.max_vfs}>"

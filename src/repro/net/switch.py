@@ -1,0 +1,132 @@
+"""A learning Ethernet switch.
+
+Used for the Stingray's internal fabric: "When a packet arrives, it is
+steered to the proper CPU based on the MAC address in the Ethernet
+header" (§3.3), and for the top-of-rack switch between clients and the
+server.  Forwarding is by destination MAC with a static or learned
+table; unknown unicast floods, broadcast floods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import DeliveryError
+from repro.net.addressing import MacAddress
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class SwitchPort:
+    """One switch-side port: a name plus the egress delivery callback."""
+
+    __slots__ = ("index", "name", "deliver")
+
+    def __init__(self, index: int, name: str,
+                 deliver: Callable[[Packet], None]):
+        self.index = index
+        self.name = name
+        self.deliver = deliver
+
+    def __repr__(self) -> str:
+        return f"<SwitchPort {self.index} {self.name!r}>"
+
+
+class LearningSwitch:
+    """MAC-learning switch with a fixed per-packet forwarding latency.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    forwarding_latency_ns:
+        Added to every forwarded packet (cut-through fabric cost).
+    strict:
+        When True, unknown unicast raises :class:`DeliveryError`
+        instead of flooding — useful in tests where every destination
+        should be known.
+    """
+
+    def __init__(self, sim: "Simulator", forwarding_latency_ns: float = 0.0,
+                 name: str = "switch", strict: bool = False):
+        if forwarding_latency_ns < 0:
+            raise DeliveryError(
+                f"negative forwarding latency: {forwarding_latency_ns}")
+        self.sim = sim
+        self.name = name
+        self.forwarding_latency_ns = forwarding_latency_ns
+        self.strict = strict
+        self._ports: List[SwitchPort] = []
+        self._table: Dict[MacAddress, SwitchPort] = {}
+        #: Forwarded packet count (diagnostics).
+        self.forwarded = 0
+        #: Flooded packet count (diagnostics).
+        self.flooded = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def add_port(self, name: str,
+                 deliver: Callable[[Packet], None]) -> SwitchPort:
+        """Attach an egress callback as a new port; returns the port."""
+        port = SwitchPort(len(self._ports), name, deliver)
+        self._ports.append(port)
+        return port
+
+    def bind(self, mac: MacAddress, port: SwitchPort) -> None:
+        """Statically associate *mac* with *port* (pre-provisioned table)."""
+        self._table[mac] = port
+
+    def lookup(self, mac: MacAddress) -> Optional[SwitchPort]:
+        """The port *mac* is bound/learned to, or None."""
+        return self._table.get(mac)
+
+    # -- data path ----------------------------------------------------------
+
+    def ingress(self, packet: Packet, in_port: Optional[SwitchPort] = None
+                ) -> None:
+        """Accept *packet* arriving on *in_port* and forward it."""
+        packet.hop()
+        if in_port is not None:
+            # Learn the source address.
+            self._table[packet.eth.src] = in_port
+        dst = packet.eth.dst
+        if dst.is_broadcast:
+            self._flood(packet, in_port)
+            return
+        port = self._table.get(dst)
+        if port is None:
+            if self.strict:
+                raise DeliveryError(
+                    f"switch {self.name!r}: unknown destination {dst}")
+            self._flood(packet, in_port)
+            return
+        self.forwarded += 1
+        self._emit(packet, port)
+
+    def ingress_from(self, in_port: SwitchPort) -> Callable[[Packet], None]:
+        """A link-attachable callback that tags arrivals with *in_port*."""
+        def _cb(packet: Packet) -> None:
+            self.ingress(packet, in_port)
+        return _cb
+
+    # -- internals ----------------------------------------------------------
+
+    def _flood(self, packet: Packet, in_port: Optional[SwitchPort]) -> None:
+        self.flooded += 1
+        for port in self._ports:
+            if port is not in_port:
+                self._emit(packet, port)
+
+    def _emit(self, packet: Packet, port: SwitchPort) -> None:
+        if self.forwarding_latency_ns > 0:
+            deliver = port.deliver
+            self.sim.call_in(self.forwarding_latency_ns,
+                             lambda: deliver(packet))
+        else:
+            port.deliver(packet)
+
+    def __repr__(self) -> str:
+        return (f"<LearningSwitch {self.name!r} ports={len(self._ports)} "
+                f"table={len(self._table)}>")

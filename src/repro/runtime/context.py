@@ -1,0 +1,79 @@
+"""Execution contexts (§3.4.3).
+
+"Upon receipt of a request, the worker spawns a new context and
+executes the request (or reuses a context if the request had previously
+been preempted). ... the worker ... saves the work it has done so far
+(e.g., stack and register contents) in host DRAM."
+
+:class:`ExecutionContext` is that saved state; :class:`ContextCosts`
+prices the three operations a worker performs on it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+_context_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ContextCosts:
+    """Costs of context operations, ns.
+
+    ``warm_restore_factor`` discounts a restore landing on the worker
+    that last ran the request — its stack and data are still cache-warm.
+    §3.1's ideal NIC would use core feedback to "provide good
+    scheduling affinity" and earn this discount deliberately.
+    """
+
+    spawn_ns: float = 150.0
+    save_ns: float = 300.0
+    restore_ns: float = 400.0
+    warm_restore_factor: float = 0.4
+
+    def __post_init__(self):
+        for name in ("spawn_ns", "save_ns", "restore_ns"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        if not 0.0 <= self.warm_restore_factor <= 1.0:
+            raise ConfigError("warm_restore_factor must be in [0, 1]")
+
+    def restore_cost_ns(self, warm: bool) -> float:
+        """Restore cost, discounted when the cache is still warm."""
+        if warm:
+            return self.restore_ns * self.warm_restore_factor
+        return self.restore_ns
+
+
+class ExecutionContext:
+    """A request's saved stack + registers.
+
+    A context is created on first run and survives preemptions; the
+    paper notes a preempted request "can be assigned to any worker, not
+    necessarily the worker that handled it first" (§3.4.1), so contexts
+    are not worker-affine.
+    """
+
+    __slots__ = ("context_id", "saves", "restores")
+
+    def __init__(self):
+        self.context_id = next(_context_ids)
+        #: Times this context was saved to DRAM (== preemptions).
+        self.saves = 0
+        #: Times this context was restored onto a core.
+        self.restores = 0
+
+    def record_save(self) -> None:
+        """Count one save-to-DRAM (a preemption)."""
+        self.saves += 1
+
+    def record_restore(self) -> None:
+        """Count one restore onto a core."""
+        self.restores += 1
+
+    def __repr__(self) -> str:
+        return (f"<ExecutionContext #{self.context_id} "
+                f"saves={self.saves} restores={self.restores}>")

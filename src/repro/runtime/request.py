@@ -1,0 +1,131 @@
+"""The request lifecycle object.
+
+One :class:`Request` instance travels the whole path — client, NIC,
+dispatcher, worker(s), response — accumulating timestamps, so latency
+accounting never loses a hop.  Its ``service_ns`` is the *fake work*
+of §4.1: "requests contain fake work that keeps the server busy for a
+specific amount of time."
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.errors import WorkloadError
+
+_request_ids = itertools.count(1)
+
+
+class RequestState(enum.Enum):
+    """Where a request currently is in its lifecycle."""
+
+    CREATED = "created"        # generated at the client, not yet sent
+    IN_FLIGHT = "in_flight"    # on a wire or in a NIC
+    QUEUED = "queued"          # in a dispatcher/worker queue
+    RUNNING = "running"        # executing on a worker core
+    PREEMPTED = "preempted"    # yanked off a core, context saved
+    COMPLETED = "completed"    # response sent
+    DROPPED = "dropped"        # lost to a full ring
+
+
+class Request:
+    """A single application-level request.
+
+    Parameters
+    ----------
+    service_ns:
+        Total CPU demand of the fake work.
+    arrival_ns:
+        Client send timestamp (set by the load generator).
+    src_ip, src_port, dst_port:
+        Flow identity for RSS/Flow-Director steering.
+    key:
+        Application key (MICA-style key-based steering).
+    size_bytes:
+        Request payload size on the wire.
+    """
+
+    __slots__ = ("request_id", "service_ns", "remaining_ns", "arrival_ns",
+                 "src_ip", "src_port", "dst_port", "key", "size_bytes",
+                 "state", "stamps", "preemptions", "context",
+                 "completion_ns", "worker_id", "user_data")
+
+    def __init__(self, service_ns: float, arrival_ns: float = 0.0,
+                 src_ip: int = 0x0A000001, src_port: int = 40000,
+                 dst_port: int = 9000, key: Optional[Any] = None,
+                 size_bytes: int = 64):
+        if service_ns < 0:
+            raise WorkloadError(f"negative service time: {service_ns}")
+        self.request_id = next(_request_ids)
+        self.service_ns = service_ns
+        self.remaining_ns = service_ns
+        self.arrival_ns = arrival_ns
+        self.src_ip = src_ip
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.key = key
+        self.size_bytes = size_bytes
+        self.state = RequestState.CREATED
+        #: Named timestamps: e.g. 'nic_rx', 'dispatched', 'first_run'.
+        self.stamps: Dict[str, float] = {}
+        #: How many times this request was preempted.
+        self.preemptions = 0
+        #: Saved execution context (None until first run).
+        self.context: Optional[Any] = None
+        self.completion_ns: Optional[float] = None
+        #: Worker that completed (or last ran) the request.
+        self.worker_id: Optional[int] = None
+        #: Free slot for system-specific annotations.
+        self.user_data: Optional[Any] = None
+
+    # -- timestamping ------------------------------------------------------
+
+    def stamp(self, name: str, now: float) -> None:
+        """Record the first time *name* happens (later stamps keep it)."""
+        if name not in self.stamps:
+            self.stamps[name] = now
+
+    def restamp(self, name: str, now: float) -> None:
+        """Record *name*, overwriting any earlier value."""
+        self.stamps[name] = now
+
+    # -- execution accounting -----------------------------------------------
+
+    def run_for(self, duration_ns: float) -> None:
+        """Consume *duration_ns* of the remaining service demand."""
+        if duration_ns < 0:
+            raise WorkloadError(f"negative run duration: {duration_ns}")
+        self.remaining_ns = max(0.0, self.remaining_ns - duration_ns)
+
+    @property
+    def finished_work(self) -> bool:
+        """True once all service demand has been consumed."""
+        return self.remaining_ns <= 1e-9
+
+    def complete(self, now: float) -> None:
+        """Mark the response as delivered at *now*."""
+        self.state = RequestState.COMPLETED
+        self.completion_ns = now
+
+    @property
+    def latency_ns(self) -> float:
+        """End-to-end latency; only valid after completion."""
+        if self.completion_ns is None:
+            raise WorkloadError(
+                f"request {self.request_id} has not completed")
+        return self.completion_ns - self.arrival_ns
+
+    @property
+    def slowdown(self) -> float:
+        """Latency divided by service demand (>= 1 in a causal system)."""
+        if self.service_ns <= 0:
+            return float("inf")
+        return self.latency_ns / self.service_ns
+
+    def __repr__(self) -> str:
+        return (f"<Request #{self.request_id} {self.state.value} "
+                f"service={self.service_ns:.0f}ns "
+                f"remaining={self.remaining_ns:.0f}ns "
+                f"preemptions={self.preemptions}>")

@@ -1,0 +1,144 @@
+"""The centralized task queue (§3.4.1).
+
+"The dispatcher receives requests from the networker and places them
+into a FIFO task queue. ... If the request has been preempted, the
+dispatcher adds the request to the end of the task queue."
+
+:class:`TaskQueue` implements that FIFO plus two alternative orderings
+used by the ablation studies: shortest-remaining-first (an idealized
+policy the centralized queue *could* run) and a strict priority lane
+for latency classes.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from collections import deque
+from typing import Deque, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.runtime.request import Request, RequestState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event
+
+
+class QueuePolicy(enum.Enum):
+    """Ordering discipline of the central queue."""
+
+    FIFO = "fifo"
+    #: Shortest remaining processing time first (ablation).
+    SRPT = "srpt"
+
+
+class TaskQueue:
+    """Centralized request queue with blocking event-based dequeue.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    policy:
+        FIFO reproduces the paper; SRPT is available for ablations.
+    capacity:
+        Optional bound; :meth:`enqueue` returns False and marks the
+        request dropped when full (on-NIC SRAM is finite, §3.2-3).
+    """
+
+    def __init__(self, sim: "Simulator", policy: QueuePolicy = QueuePolicy.FIFO,
+                 capacity: Optional[int] = None, name: str = "taskq"):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.policy = policy
+        self.capacity = capacity
+        self.name = name
+        self._fifo: Deque[Request] = deque()
+        self._heap: List[Tuple[float, int, Request]] = []
+        self._tiebreak = itertools.count()
+        self._getters: Deque["Event"] = deque()
+        #: Diagnostics.
+        self.enqueued = 0
+        self.dropped = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        if self.policy is QueuePolicy.FIFO:
+            return len(self._fifo)
+        return len(self._heap)
+
+    # -- enqueue ----------------------------------------------------------------
+
+    def enqueue(self, request: Request) -> bool:
+        """Add *request* (new or preempted) to the queue tail.
+
+        Returns False (and marks the request DROPPED) when at capacity.
+        """
+        # Hand directly to a waiting dispatcher if any.
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                request.state = RequestState.QUEUED
+                request.stamp("queued", self.sim.now)
+                self.enqueued += 1
+                getter.succeed(request)
+                return True
+        if self.capacity is not None and len(self) >= self.capacity:
+            self.dropped += 1
+            request.state = RequestState.DROPPED
+            return False
+        request.state = RequestState.QUEUED
+        request.stamp("queued", self.sim.now)
+        self.enqueued += 1
+        if self.policy is QueuePolicy.FIFO:
+            self._fifo.append(request)
+        else:
+            heapq.heappush(self._heap, (request.remaining_ns,
+                                        next(self._tiebreak), request))
+        depth = len(self)
+        if depth > self.max_depth:
+            self.max_depth = depth
+        return True
+
+    # -- dequeue ----------------------------------------------------------------
+
+    def dequeue(self) -> "Event":
+        """Event-valued removal of the head request (blocks while empty)."""
+        ev = self.sim.event(label=f"deq:{self.name}")
+        ok, request = self.try_dequeue()
+        if ok:
+            ev.succeed(request)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_dequeue(self) -> Tuple[bool, Optional[Request]]:
+        """Non-blocking removal: ``(True, request)`` or ``(False, None)``."""
+        if self.policy is QueuePolicy.FIFO:
+            if self._fifo:
+                return True, self._fifo.popleft()
+            return False, None
+        if self._heap:
+            _remaining, _tie, request = heapq.heappop(self._heap)
+            return True, request
+        return False, None
+
+    def cancel_dequeue(self, event: "Event") -> None:
+        """Withdraw a pending :meth:`dequeue`."""
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
+    def peek(self) -> Optional[Request]:
+        """The request that would be dequeued next, or None."""
+        if self.policy is QueuePolicy.FIFO:
+            return self._fifo[0] if self._fifo else None
+        return self._heap[0][2] if self._heap else None
+
+    def __repr__(self) -> str:
+        return (f"<TaskQueue {self.name!r} {self.policy.value} "
+                f"depth={len(self)} dropped={self.dropped}>")

@@ -1,0 +1,183 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulator` owns the clock and a binary heap of triggered events.
+Time is in nanoseconds (see :mod:`repro.units`).  Events scheduled for
+the same instant are processed in FIFO order of scheduling (a strictly
+increasing sequence number breaks ties), which makes runs fully
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+#: Priority levels: lower runs first among simultaneous events.
+URGENT = 0
+NORMAL = 1
+
+
+class Simulator:
+    """Event loop, clock, and factory for events and processes.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value in nanoseconds (default 0).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(5.0)
+    ...     return sim.now
+    >>> proc = sim.process(hello(sim))
+    >>> sim.run()
+    >>> proc.value
+    5.0
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list = []
+        self._seq = 0
+        self._event_count = 0
+        self._running = False
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Total number of events processed so far (diagnostics)."""
+        return self._event_count
+
+    # -- factories -----------------------------------------------------------
+
+    def event(self, label: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, label=label)
+
+    def timeout(self, delay: float, value: Any = None, label: str = "") -> Timeout:
+        """Create an event that fires *delay* ns from now."""
+        return Timeout(self, delay, value=value, label=label)
+
+    def process(self, generator: Generator, label: str = "") -> Process:
+        """Start a new :class:`Process` driving *generator*."""
+        return Process(self, generator, label=label)
+
+    def any_of(self, events) -> AnyOf:
+        """Composite event: fires when any of *events* fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        """Composite event: fires when all of *events* have fired."""
+        return AllOf(self, events)
+
+    def call_at(self, when: float, func: Callable[[], None]) -> Event:
+        """Run *func* (no args) at absolute time *when*."""
+        if when < self._now:
+            raise SchedulingError(
+                f"call_at({when}) is in the past (now={self._now})")
+        ev = self.timeout(when - self._now)
+        ev.callbacks.append(lambda _ev: func())
+        return ev
+
+    def call_in(self, delay: float, func: Callable[[], None]) -> Event:
+        """Run *func* (no args) after *delay* ns."""
+        ev = self.timeout(delay)
+        ev.callbacks.append(lambda _ev: func())
+        return ev
+
+    # -- scheduling core -------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = NORMAL) -> None:
+        """Insert a triggered *event* into the schedule (kernel use)."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        self._event_count += 1
+        callbacks, event.callbacks = event.callbacks, None
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the schedule drains, *until* (absolute ns), or a budget.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this absolute time.  The clock
+            is left exactly at *until* when the horizon is hit.
+        max_events:
+            Safety valve: raise :class:`SimulationError` if more than
+            this many events are processed in this call (guards against
+            accidental infinite simulations in tests).
+        """
+        if self._running:
+            raise SimulationError("run() re-entered; the simulator is not reentrant")
+        if until is not None and until < self._now:
+            raise SchedulingError(f"until={until} is in the past (now={self._now})")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self._now = until
+                    return
+                self.step()
+                processed += 1
+                if max_events is not None and processed > max_events:
+                    raise SimulationError(
+                        f"run() exceeded max_events={max_events}")
+            if until is not None:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_event(self, event: Event,
+                        max_events: Optional[int] = None) -> Any:
+        """Run until *event* is processed; return its value.
+
+        Raises the event's exception if it failed, and
+        :class:`SimulationError` if the schedule drains first.
+        """
+        processed = 0
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError(
+                    f"schedule drained before {event!r} was processed")
+            self.step()
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        if not event.ok:
+            raise event.value
+        return event.value
+
+    def __repr__(self) -> str:
+        return (f"<Simulator t={self._now:.1f}ns pending={len(self._heap)} "
+                f"processed={self._event_count}>")

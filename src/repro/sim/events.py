@@ -1,0 +1,200 @@
+"""One-shot events for the simulation kernel.
+
+An :class:`Event` moves through three states::
+
+    PENDING -> TRIGGERED -> PROCESSED
+
+``TRIGGERED`` means the event has a value (or an exception) and sits in
+the simulator's schedule; ``PROCESSED`` means its callbacks have run.
+Processes wait on events by ``yield``-ing them; the kernel resumes the
+process with the event's value, or throws the event's exception into it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.errors import SchedulingError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class EventState(enum.Enum):
+    """Lifecycle state of an :class:`Event`."""
+
+    PENDING = "pending"
+    TRIGGERED = "triggered"
+    PROCESSED = "processed"
+
+
+class Event:
+    """A one-shot completion event bound to a :class:`Simulator`.
+
+    Attributes
+    ----------
+    sim:
+        The owning simulator.
+    callbacks:
+        Functions invoked (with the event) when the event is processed.
+        ``None`` once processed — appending afterwards is an error.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "label")
+
+    def __init__(self, sim: "Simulator", label: str = ""):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._state = EventState.PENDING
+        self.label = label
+
+    # -- state inspection --------------------------------------------------
+
+    @property
+    def state(self) -> EventState:
+        """Current lifecycle state."""
+        return self._state
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a result (value or exception)."""
+        return self._state is not EventState.PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state is EventState.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's result value (or exception, if it failed)."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with *value* after *delay* ns."""
+        if self._state is not EventState.PENDING:
+            raise SchedulingError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = EventState.TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception after *delay* ns."""
+        if self._state is not EventState.PENDING:
+            raise SchedulingError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self._state = EventState.TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    # -- kernel hooks --------------------------------------------------------
+
+    def _mark_processed(self) -> None:
+        self._state = EventState.PROCESSED
+
+    def __repr__(self) -> str:
+        tag = f" {self.label!r}" if self.label else ""
+        return f"<{type(self).__name__}{tag} {self._state.value}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 label: str = ""):
+        if delay < 0:
+            raise SchedulingError(f"negative timeout delay: {delay}")
+        super().__init__(sim, label=label)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = EventState.TRIGGERED
+        sim._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events):
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._n_done = 0
+        if any(ev.sim is not sim for ev in self.events):
+            raise SimulationError("condition mixes events from different simulators")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._child_done(ev)
+            else:
+                ev.callbacks.append(self._child_done)
+
+    def _collect(self) -> dict:
+        """Results of all triggered child events, in declaration order."""
+        return {ev: ev._value for ev in self.events if ev.triggered}
+
+    def _child_done(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers when *any* child event triggers.
+
+    The value is a dict mapping the already-triggered events to their
+    values (there may be more than one if several fire at the same
+    instant).  A failing child fails the condition.
+    """
+
+    __slots__ = ()
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when *all* child events have triggered.
+
+    The value is a dict mapping every event to its value.  A failing
+    child fails the condition immediately.
+    """
+
+    __slots__ = ()
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed(self._collect())

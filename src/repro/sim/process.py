@@ -1,0 +1,150 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` drives a Python generator: each value the generator
+``yield``-s must be an :class:`~repro.sim.events.Event`; the process
+sleeps until that event triggers and is resumed with the event's value
+(or has the event's exception thrown into it).  The process itself is an
+event that triggers when the generator returns (with the return value)
+or raises (failing the process).
+
+Interrupts
+----------
+``process.interrupt(cause)`` models asynchronous preemption: a
+:class:`~repro.errors.ProcessInterrupt` carrying *cause* is thrown into
+the generator at its current wait point.  The generator may catch it,
+save state, and continue — exactly how the paper's workers react to a
+local-APIC timer interrupt.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class Process(Event):
+    """A running simulation coroutine; also an event for its completion."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, label: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process() needs a generator, got {generator!r} — "
+                "did you forget to call the generator function?")
+        super().__init__(sim, label=label)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off on the next kernel step at the current instant.
+        bootstrap = sim.event(label=f"start:{label}")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessInterrupt` into the process immediately.
+
+        The interrupt is delivered via the schedule (at the current
+        instant), so it is safe to call from another process's context.
+        Interrupting a finished process is a no-op, mirroring real
+        interrupt delivery racing with task exit.
+        """
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target.processed:
+            # Detach from whatever we were waiting on.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        poke = self.sim.event(label=f"interrupt:{self.label}")
+        poke.callbacks.append(self._deliver_interrupt)
+        poke.succeed(ProcessInterrupt(cause))
+
+    # -- kernel machinery ---------------------------------------------------------
+
+    def _deliver_interrupt(self, poke: Event) -> None:
+        if self.triggered:
+            return
+        # A resume may have been re-armed between interrupt() and delivery
+        # (the interrupted wait completed at the same instant); detach again.
+        target = self._waiting_on
+        if target is not None and not target.processed:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self._advance(throw=poke.value)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:  # interrupted and finished before this fired
+            return
+        self._waiting_on = None
+        if event._ok:
+            self._advance(send=event._value)
+        else:
+            self._advance(throw=event._value)
+
+    def _advance(self, send: Any = None, throw: Optional[BaseException] = None):
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessInterrupt as exc:
+            # An uncaught interrupt kills the process; treat as failure so
+            # waiters notice rather than hanging.
+            self.fail(exc)
+            return
+        except Exception as exc:
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(SimulationError(
+                f"process {self.label!r} yielded {target!r}; "
+                "processes may only yield Events"))
+            return
+        if target.sim is not self.sim:
+            self._generator.close()
+            self.fail(SimulationError(
+                f"process {self.label!r} yielded an event from another simulator"))
+            return
+
+        self._waiting_on = target
+        if target.processed:
+            # Already done: resume at the current instant via the schedule
+            # to preserve FIFO fairness.
+            relay = self.sim.event()
+            relay.callbacks.append(self._resume)
+            if target._ok:
+                relay.succeed(target._value)
+            else:
+                relay.fail(target._value)
+            self._waiting_on = relay
+        else:
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        tag = f" {self.label!r}" if self.label else ""
+        status = "done" if self.triggered else (
+            "waiting" if self._waiting_on is not None else "starting")
+        return f"<Process{tag} {status}>"

@@ -1,0 +1,61 @@
+"""Named, independently seeded random streams.
+
+Every stochastic component (arrival process, service-time sampler,
+RSS hash salt, ...) draws from its own named stream, so adding a new
+component or reordering draws in one component never perturbs another.
+This is the standard variance-reduction discipline for simulation
+studies and is what makes seeds meaningful in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def _derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from (root_seed, name), stably.
+
+    Uses BLAKE2b rather than ``hash()`` so results do not depend on
+    ``PYTHONHASHSEED`` or the Python version.
+    """
+    digest = hashlib.blake2b(
+        f"{root_seed}:{name}".encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class RngRegistry:
+    """A factory of named :class:`random.Random` streams.
+
+    Examples
+    --------
+    >>> rngs = RngRegistry(seed=42)
+    >>> arrivals = rngs.stream("arrivals")
+    >>> service = rngs.stream("service")
+    >>> rngs.stream("arrivals") is arrivals   # streams are cached
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for *name*, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(_derive_seed(self.seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RngRegistry":
+        """A child registry whose root seed is derived from *name*.
+
+        Useful for giving each replication of an experiment its own
+        independent universe of streams.
+        """
+        return RngRegistry(_derive_seed(self.seed, f"fork:{name}"))
+
+    def __repr__(self) -> str:
+        return f"<RngRegistry seed={self.seed} streams={sorted(self._streams)}>"

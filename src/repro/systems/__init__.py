@@ -1,0 +1,31 @@
+"""Complete served systems: the paper's prototypes and all baselines."""
+
+from repro.systems.base import BaseSystem, NotifyMessage
+from repro.systems.shinjuku import ShinjukuSystem
+from repro.systems.shinjuku_offload import ShinjukuOffloadSystem
+from repro.systems.rss_system import RssSystem
+from repro.systems.workstealing import WorkStealingSystem
+from repro.systems.mica_system import MicaSystem
+from repro.systems.rpcvalet import RpcValetSystem
+from repro.systems.ideal_offload import IdealOffloadSystem
+from repro.systems.sharded_shinjuku import (
+    ShardedShinjukuConfig,
+    ShardedShinjukuSystem,
+)
+from repro.systems.elastic_rss import ElasticRssConfig, ElasticRssSystem
+
+__all__ = [
+    "BaseSystem",
+    "NotifyMessage",
+    "ShinjukuSystem",
+    "ShinjukuOffloadSystem",
+    "RssSystem",
+    "WorkStealingSystem",
+    "MicaSystem",
+    "RpcValetSystem",
+    "IdealOffloadSystem",
+    "ShardedShinjukuConfig",
+    "ShardedShinjukuSystem",
+    "ElasticRssConfig",
+    "ElasticRssSystem",
+]

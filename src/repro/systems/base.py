@@ -1,0 +1,124 @@
+"""Common plumbing for served systems.
+
+Every system exposes the same minimal surface to the experiment
+harness:
+
+- :meth:`BaseSystem.start` — spawn its processes (call before run);
+- :meth:`BaseSystem.ingress` — accept one client request (the load
+  generator's callback);
+- completions/drops land in the shared
+  :class:`~repro.metrics.collector.MetricsCollector`.
+
+The client<->server wire (ToR switch + cables) is a fixed one-way
+latency charged on ingress and on the response, identical across
+systems so comparisons isolate the server-side scheduling design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.metrics.collector import MetricsCollector
+from repro.runtime.request import Request, RequestState
+from repro.runtime.worker import WorkerCore
+from repro.sim.rng import RngRegistry
+from repro.units import us
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import Tracer
+
+#: One-way client<->server network latency (same rack, cut-through ToR).
+DEFAULT_CLIENT_WIRE_NS = us(1.0)
+
+
+@dataclass
+class NotifyMessage:
+    """Worker -> dispatcher notification for shared-memory systems."""
+
+    worker_id: int
+    outcome: str  # "finished" | "preempted"
+    request: Request
+
+
+class BaseSystem:
+    """Shared lifecycle, client-wire, and completion plumbing."""
+
+    name = "base"
+
+    def __init__(self, sim: "Simulator", rngs: RngRegistry,
+                 metrics: MetricsCollector,
+                 client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
+                 tracer: Optional["Tracer"] = None):
+        if client_wire_ns < 0:
+            raise SimulationError(f"negative client wire: {client_wire_ns}")
+        self.sim = sim
+        self.rngs = rngs
+        self.metrics = metrics
+        self.client_wire_ns = client_wire_ns
+        self.tracer = tracer
+        self.workers: List[WorkerCore] = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn all system processes; idempotence is an error."""
+        if self._started:
+            raise SimulationError(f"{self.name} already started")
+        self._started = True
+        self._start()
+        self.metrics.attach_workers(self.workers)
+
+    def _start(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # -- client side ---------------------------------------------------------------
+
+    def ingress(self, request: Request) -> None:
+        """Accept a request from the load generator (at the client)."""
+        if not self._started:
+            raise SimulationError(f"{self.name} not started")
+        request.state = RequestState.IN_FLIGHT
+        if self.client_wire_ns > 0:
+            self.sim.call_in(self.client_wire_ns,
+                             lambda: self._server_ingress(request))
+        else:
+            self._server_ingress(request)
+
+    def _server_ingress(self, request: Request) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- response side ---------------------------------------------------------------
+
+    def respond(self, request: Request) -> None:
+        """Ship the response back over the client wire and record it."""
+        if self.client_wire_ns > 0:
+            self.sim.call_in(self.client_wire_ns,
+                             lambda: self._complete(request))
+        else:
+            self._complete(request)
+
+    def _complete(self, request: Request) -> None:
+        request.complete(self.sim.now)
+        self.metrics.record_completion(request)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "complete",
+                             request=request.request_id,
+                             latency_ns=request.latency_ns)
+
+    def drop(self, request: Request) -> None:
+        """Record a dropped request."""
+        request.state = RequestState.DROPPED
+        self.metrics.record_drop(request)
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    def total_completed(self) -> int:
+        """Requests completed across all workers."""
+        return sum(worker.completed for worker in self.workers)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} workers={len(self.workers)}>"

@@ -1,0 +1,159 @@
+"""Elastic-RSS-style adaptive hashing (§5.1-1).
+
+"Elastic RSS is a customized version of hardware-based RSS that
+provisions cores for applications on the µs scale and incorporates
+fine-grained load feedback, but only scheduling parameters can be
+changed in the implementation — the scheduling policy itself is fixed
+upfront."
+
+The model: a run-to-completion RSS dataplane whose indirection table is
+re-weighted every ``epoch_ns`` inversely to each core's instantaneous
+queue depth.  Rebalancing fixes *persistent* skew (a hot flow's queue
+stops receiving new flows) but, because the policy is still hashing
+without preemption, it can neither migrate an already-enqueued burst
+nor rescue requests stuck behind a straggler — the §2.2 problems the
+informed preemptive NIC exists to solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.config import HostMachineConfig
+from repro.errors import ConfigError
+from repro.hw.cpu import HostMachine
+from repro.metrics.collector import MetricsCollector
+from repro.net.addressing import FiveTuple
+from repro.net.rss import RssSteering
+from repro.runtime.context import ContextCosts
+from repro.runtime.request import Request
+from repro.runtime.worker import WorkerCore
+from repro.sim.primitives import Store
+from repro.sim.rng import RngRegistry
+from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
+from repro.units import us
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import Tracer
+
+_PROTO_UDP = 17
+_SERVICE_IP = 0x0A00000A
+_SERVICE_PORT = 9000
+
+
+@dataclass(frozen=True)
+class ElasticRssConfig:
+    """Configuration for the adaptive-RSS dataplane."""
+
+    workers: int = 8
+    rx_queue_depth: int = 4096
+    #: Rebalancing period — Elastic RSS works "on the µs scale".
+    epoch_ns: float = us(10.0)
+    #: Smoothing: new weight = (1-alpha)*old + alpha*instantaneous.
+    smoothing_alpha: float = 0.5
+    host: HostMachineConfig = field(default_factory=HostMachineConfig)
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ConfigError("need at least one worker")
+        if self.epoch_ns <= 0:
+            raise ConfigError("epoch_ns must be positive")
+        if not 0.0 < self.smoothing_alpha <= 1.0:
+            raise ConfigError("smoothing_alpha must be in (0, 1]")
+
+
+class ElasticRssSystem(BaseSystem):
+    """RSS whose indirection table tracks per-core load each epoch."""
+
+    name = "elastic-rss"
+
+    def __init__(self, sim: "Simulator", rngs: RngRegistry,
+                 metrics: MetricsCollector,
+                 config: ElasticRssConfig = ElasticRssConfig(),
+                 client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
+                 tracer: Optional["Tracer"] = None):
+        super().__init__(sim, rngs, metrics, client_wire_ns, tracer)
+        self.config = config
+        self.costs = config.host.costs
+        self.machine = HostMachine(
+            sim, sockets=config.host.sockets,
+            cores_per_socket=config.host.cores_per_socket,
+            clock_ghz=config.host.clock_ghz,
+            smt=config.host.threads_per_core)
+        self.rss = RssSteering(n_queues=config.workers)
+        self.queues: List[Store] = [
+            Store(sim, capacity=config.rx_queue_depth, name=f"erss-q{i}")
+            for i in range(config.workers)]
+        self._weights = [1.0] * config.workers
+        #: Rebalancing epochs executed (diagnostics).
+        self.rebalances = 0
+        context_costs = ContextCosts(
+            spawn_ns=self.costs.context_spawn_ns,
+            save_ns=self.costs.context_save_ns,
+            restore_ns=self.costs.context_restore_ns)
+        self.workers = [
+            WorkerCore(sim, worker_id=i,
+                       thread=self.machine.allocate_dedicated_core(f"worker{i}"),
+                       context_costs=context_costs, preemption=None)
+            for i in range(config.workers)]
+
+    def _start(self) -> None:
+        self.sim.process(self._rebalancer_loop(), label="erss-rebalance")
+        for worker in self.workers:
+            process = self.sim.process(
+                self._worker_loop(worker),
+                label=f"erss-worker{worker.worker_id}")
+            worker.attach_process(process)
+
+    # -- the on-NIC rebalancer --------------------------------------------------
+
+    def _rebalancer_loop(self):
+        """Every epoch, re-weight queues inversely to their depth.
+
+        Runs 'in hardware': it costs no host CPU, exactly as Elastic
+        RSS intends, but it can only change *parameters* of the fixed
+        hash-and-queue policy.
+        """
+        config = self.config
+        while True:
+            yield self.sim.timeout(config.epoch_ns)
+            depths = [len(queue) for queue in self.queues]
+            max_depth = max(depths)
+            for i, depth in enumerate(depths):
+                # Deep queue -> low weight; empty queue -> full weight.
+                instantaneous = 1.0 / (1.0 + depth)
+                self._weights[i] = ((1.0 - config.smoothing_alpha)
+                                    * self._weights[i]
+                                    + config.smoothing_alpha * instantaneous)
+            if max_depth > 0:
+                self.rss = RssSteering(n_queues=config.workers,
+                                       weights=self._weights)
+            self.rebalances += 1
+            if self.tracer is not None:
+                self.tracer.emit(self.name, "rebalance", depths=depths)
+
+    # -- data path ------------------------------------------------------------------
+
+    def _server_ingress(self, request: Request) -> None:
+        request.stamp("nic_rx", self.sim.now)
+        flow = FiveTuple(src_ip=request.src_ip, dst_ip=_SERVICE_IP,
+                         src_port=request.src_port, dst_port=_SERVICE_PORT,
+                         protocol=_PROTO_UDP)
+        queue_index = self.rss.steer_flow(flow)
+        if not self.queues[queue_index].try_put(request):
+            self.drop(request)
+
+    def _worker_loop(self, worker: WorkerCore):
+        queue = self.queues[worker.worker_id]
+        thread = worker.thread
+        while True:
+            worker.begin_wait()
+            request = yield queue.get()
+            worker.end_wait()
+            yield thread.execute(self.costs.networker_pkt_ns)
+            yield thread.execute(self.costs.worker_rx_ns)
+            yield from worker.run_request(request)
+            yield thread.execute(self.costs.worker_response_tx_ns)
+            self.respond(request)

@@ -1,0 +1,114 @@
+"""RPCValet-style NI-integrated central queue (§2.1).
+
+"RPCValet is a custom architecture that makes scheduling decisions to
+minimize µsecond-scale tail latency by putting the NIC 'close' to the
+cores.  RPCValet integrates a network interface on each core and,
+similar to Shinjuku, maintains a centralized task queue."
+
+So: a single global queue realized *in hardware* — zero dispatcher CPU,
+nanosecond-scale assignment, single-request-deep per-core buffering —
+but **no preemption** (§2.2-2: RPCValet "demonstrate[s] high tail
+latency for highly-variable request service time distributions") and
+no configurability (§2.2-3: it "lacks preemption and configurability").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.config import HostMachineConfig
+from repro.errors import ConfigError
+from repro.hw.cpu import HostMachine
+from repro.metrics.collector import MetricsCollector
+from repro.runtime.context import ContextCosts
+from repro.runtime.request import Request
+from repro.runtime.taskqueue import TaskQueue
+from repro.runtime.worker import WorkerCore
+from repro.sim.rng import RngRegistry
+from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class RpcValetConfig:
+    """Configuration for the NI-driven central-queue architecture."""
+
+    workers: int = 8
+    #: Hardware queue-pop + assignment decision (ASIC-speed).
+    assign_cost_ns: float = 40.0
+    #: NI-to-core delivery: the NI is integrated *on* the core.
+    delivery_ns: float = 60.0
+    queue_capacity: int = 65536
+    host: HostMachineConfig = field(default_factory=HostMachineConfig)
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ConfigError("need at least one worker")
+        if self.assign_cost_ns < 0 or self.delivery_ns < 0:
+            raise ConfigError("hardware costs must be non-negative")
+
+
+class RpcValetSystem(BaseSystem):
+    """A hardware global queue feeding integrated per-core NIs."""
+
+    name = "rpcvalet"
+
+    def __init__(self, sim: "Simulator", rngs: RngRegistry,
+                 metrics: MetricsCollector,
+                 config: RpcValetConfig = RpcValetConfig(),
+                 client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
+                 tracer: Optional["Tracer"] = None):
+        super().__init__(sim, rngs, metrics, client_wire_ns, tracer)
+        self.config = config
+        self.costs = config.host.costs
+        self.machine = HostMachine(
+            sim, sockets=config.host.sockets,
+            cores_per_socket=config.host.cores_per_socket,
+            clock_ghz=config.host.clock_ghz,
+            smt=config.host.threads_per_core)
+        self.task_queue = TaskQueue(sim, capacity=config.queue_capacity,
+                                    name="rpcvalet-q")
+        context_costs = ContextCosts(
+            spawn_ns=self.costs.context_spawn_ns,
+            save_ns=self.costs.context_save_ns,
+            restore_ns=self.costs.context_restore_ns)
+        self.workers = [
+            WorkerCore(sim, worker_id=i,
+                       thread=self.machine.allocate_dedicated_core(f"worker{i}"),
+                       context_costs=context_costs, preemption=None)
+            for i in range(config.workers)]
+
+    def _start(self) -> None:
+        for worker in self.workers:
+            process = self.sim.process(
+                self._worker_loop(worker),
+                label=f"rpcvalet-worker{worker.worker_id}")
+            worker.attach_process(process)
+
+    def _server_ingress(self, request: Request) -> None:
+        request.stamp("nic_rx", self.sim.now)
+        if not self.task_queue.enqueue(request):
+            self.drop(request)
+
+    def _worker_loop(self, worker: WorkerCore):
+        """Workers pull straight from the hardware global queue.
+
+        The NI's assignment decision plus on-core delivery are a fixed
+        ~100 ns — the 'NIC close to the cores' advantage — after which
+        execution runs to completion (no preemption, by design).
+        """
+        thread = worker.thread
+        hw_delay = self.config.assign_cost_ns + self.config.delivery_ns
+        while True:
+            worker.begin_wait()
+            request = yield self.task_queue.dequeue()
+            worker.end_wait()
+            yield self.sim.timeout(hw_delay)
+            yield thread.execute(self.costs.worker_rx_ns)
+            yield from worker.run_request(request)
+            yield thread.execute(self.costs.worker_response_tx_ns)
+            self.respond(request)

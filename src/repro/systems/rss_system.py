@@ -1,0 +1,157 @@
+"""IX-style RSS dataplane (§2.1).
+
+"IX is a dataplane operating system that uses RSS to hash packet
+5-tuples and then assign packets to worker cores based on the hash.
+All network packet and application request processing is done on
+individual worker cores and runs to completion."
+
+This is d-FCFS: per-core FIFO queues, no preemption, no cross-core
+balancing — the system whose tail explodes under dispersion (§2.2
+problems 1 and 2), which the baseline-comparison bench demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.config import HostMachineConfig
+from repro.errors import ConfigError
+from repro.hw.cpu import HostMachine
+from repro.metrics.collector import MetricsCollector
+from repro.net.addressing import FiveTuple
+from repro.net.rss import RssSteering
+from repro.runtime.context import ContextCosts
+from repro.runtime.request import Request
+from repro.runtime.worker import WorkerCore
+from repro.sim.primitives import Store
+from repro.sim.rng import RngRegistry
+from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import Tracer
+
+#: IANA protocol number for UDP.
+_PROTO_UDP = 17
+#: The service's IP, as hashed into the 5-tuple.
+_SERVICE_IP = 0x0A00000A
+#: The service's UDP port.
+_SERVICE_PORT = 9000
+
+
+@dataclass(frozen=True)
+class RssSystemConfig:
+    """Configuration for the RSS run-to-completion dataplane.
+
+    ``batch_max > 1`` enables IX-style adaptive batching (§2.1: "By
+    eliminating inter-core communication and using adaptive batching,
+    IX achieves low tail latency for high throughput"): each poll round
+    takes *up to* ``batch_max`` queued requests and amortizes the
+    per-round poll cost over them.  The batch is adaptive because it is
+    bounded by queue occupancy — at low load batches degenerate to one
+    request and add no latency.
+    """
+
+    workers: int = 8
+    rx_queue_depth: int = 4096
+    #: Maximum requests taken per poll round (1 disables batching).
+    batch_max: int = 1
+    #: Cost of one poll round (ring doorbell, prefetch, bookkeeping),
+    #: paid once per batch rather than once per request.  Defaults to
+    #: zero so the plain-RSS baseline stays a pure per-request model;
+    #: batching studies set it explicitly.
+    poll_round_ns: float = 0.0
+    host: HostMachineConfig = field(default_factory=HostMachineConfig)
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ConfigError("need at least one worker")
+        if self.batch_max < 1:
+            raise ConfigError("batch_max must be >= 1")
+        if self.poll_round_ns < 0:
+            raise ConfigError("poll_round_ns must be non-negative")
+
+
+class RssSystem(BaseSystem):
+    """Per-core d-FCFS queues fed by hardware RSS."""
+
+    name = "rss"
+
+    def __init__(self, sim: "Simulator", rngs: RngRegistry,
+                 metrics: MetricsCollector,
+                 config: RssSystemConfig = RssSystemConfig(),
+                 client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
+                 tracer: Optional["Tracer"] = None):
+        super().__init__(sim, rngs, metrics, client_wire_ns, tracer)
+        self.config = config
+        self.costs = config.host.costs
+        self.machine = HostMachine(
+            sim, sockets=config.host.sockets,
+            cores_per_socket=config.host.cores_per_socket,
+            clock_ghz=config.host.clock_ghz,
+            smt=config.host.threads_per_core)
+        self.rss = RssSteering(n_queues=config.workers)
+        self.queues: List[Store] = [
+            Store(sim, capacity=config.rx_queue_depth, name=f"rss-q{i}")
+            for i in range(config.workers)]
+        context_costs = ContextCosts(
+            spawn_ns=self.costs.context_spawn_ns,
+            save_ns=self.costs.context_save_ns,
+            restore_ns=self.costs.context_restore_ns)
+        self.workers = [
+            WorkerCore(sim, worker_id=i,
+                       thread=self.machine.allocate_dedicated_core(f"worker{i}"),
+                       context_costs=context_costs, preemption=None)
+            for i in range(config.workers)]
+        #: Poll rounds that served more than one request (diagnostics).
+        self.batched_rounds = 0
+
+    def _start(self) -> None:
+        for worker in self.workers:
+            process = self.sim.process(
+                self._worker_loop(worker),
+                label=f"rss-worker{worker.worker_id}")
+            worker.attach_process(process)
+
+    # -- steering -------------------------------------------------------------
+
+    def _flow_of(self, request: Request) -> FiveTuple:
+        return FiveTuple(src_ip=request.src_ip, dst_ip=_SERVICE_IP,
+                         src_port=request.src_port, dst_port=_SERVICE_PORT,
+                         protocol=_PROTO_UDP)
+
+    def _server_ingress(self, request: Request) -> None:
+        request.stamp("nic_rx", self.sim.now)
+        queue_index = self.rss.steer_flow(self._flow_of(request))
+        if not self.queues[queue_index].try_put(request):
+            self.drop(request)
+
+    # -- run-to-completion workers ------------------------------------------------
+
+    def _worker_loop(self, worker: WorkerCore):
+        queue = self.queues[worker.worker_id]
+        thread = worker.thread
+        batch_max = self.config.batch_max
+        while True:
+            worker.begin_wait()
+            request = yield queue.get()
+            worker.end_wait()
+            # Adaptive batch: grab whatever else is already queued, up
+            # to the cap. The poll-round cost is paid once per batch.
+            batch = [request]
+            while len(batch) < batch_max:
+                ok, more = queue.try_get()
+                if not ok:
+                    break
+                batch.append(more)
+            if len(batch) > 1:
+                self.batched_rounds += 1
+            yield thread.execute(self.config.poll_round_ns)
+            for item in batch:
+                # Per-request packet processing (no dispatcher).
+                yield thread.execute(self.costs.networker_pkt_ns)
+                yield thread.execute(self.costs.worker_rx_ns)
+                yield from worker.run_request(item)
+                yield thread.execute(self.costs.worker_response_tx_ns)
+                self.respond(item)

@@ -1,0 +1,154 @@
+"""ZygOS-style RSS + work stealing (§2.1).
+
+"ZygOS, similarly to IX, uses RSS to assign packets to cores, but also
+supports work-stealing.  Cores that are idle can steal packets from
+task queues that belong to other cores."
+
+§2.2-4 records why stealing is not enough: "the high work-stealing
+rate needed for highly-variable workloads and the high overhead of
+work stealing render ZygOS unusable" — the per-steal synchronization
+cost here makes that overhead visible in the dispersion bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.config import HostMachineConfig
+from repro.errors import ConfigError
+from repro.hw.cpu import HostMachine
+from repro.metrics.collector import MetricsCollector
+from repro.net.addressing import FiveTuple
+from repro.net.rss import RssSteering
+from repro.runtime.context import ContextCosts
+from repro.runtime.request import Request
+from repro.runtime.worker import WorkerCore
+from repro.sim.primitives import Signal, Store
+from repro.sim.rng import RngRegistry
+from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import Tracer
+
+_PROTO_UDP = 17
+_SERVICE_IP = 0x0A00000A
+_SERVICE_PORT = 9000
+
+
+@dataclass(frozen=True)
+class WorkStealingConfig:
+    """Configuration for the ZygOS-style dataplane."""
+
+    workers: int = 8
+    rx_queue_depth: int = 4096
+    #: Cost of one successful steal (cross-core queue synchronization).
+    steal_cost_ns: float = 600.0
+    #: Cost of probing one remote queue while hunting for work.
+    probe_cost_ns: float = 120.0
+    host: HostMachineConfig = field(default_factory=HostMachineConfig)
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ConfigError("need at least one worker")
+        if self.steal_cost_ns < 0 or self.probe_cost_ns < 0:
+            raise ConfigError("steal costs must be non-negative")
+
+
+class WorkStealingSystem(BaseSystem):
+    """RSS-fed per-core queues with idle-time work stealing."""
+
+    name = "workstealing"
+
+    def __init__(self, sim: "Simulator", rngs: RngRegistry,
+                 metrics: MetricsCollector,
+                 config: WorkStealingConfig = WorkStealingConfig(),
+                 client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
+                 tracer: Optional["Tracer"] = None):
+        super().__init__(sim, rngs, metrics, client_wire_ns, tracer)
+        self.config = config
+        self.costs = config.host.costs
+        self.machine = HostMachine(
+            sim, sockets=config.host.sockets,
+            cores_per_socket=config.host.cores_per_socket,
+            clock_ghz=config.host.clock_ghz,
+            smt=config.host.threads_per_core)
+        self.rss = RssSteering(n_queues=config.workers)
+        self.queues: List[Store] = [
+            Store(sim, capacity=config.rx_queue_depth, name=f"zygos-q{i}")
+            for i in range(config.workers)]
+        self._work_signal = Signal(sim, name="zygos-work")
+        context_costs = ContextCosts(
+            spawn_ns=self.costs.context_spawn_ns,
+            save_ns=self.costs.context_save_ns,
+            restore_ns=self.costs.context_restore_ns)
+        self.workers = [
+            WorkerCore(sim, worker_id=i,
+                       thread=self.machine.allocate_dedicated_core(f"worker{i}"),
+                       context_costs=context_costs, preemption=None)
+            for i in range(config.workers)]
+        #: Successful steals (diagnostics; §2.2-4's "high work-stealing rate").
+        self.steals = 0
+        #: Remote-queue probes that found nothing.
+        self.failed_probes = 0
+
+    def _start(self) -> None:
+        for worker in self.workers:
+            process = self.sim.process(
+                self._worker_loop(worker),
+                label=f"zygos-worker{worker.worker_id}")
+            worker.attach_process(process)
+
+    # -- steering ---------------------------------------------------------------
+
+    def _flow_of(self, request: Request) -> FiveTuple:
+        return FiveTuple(src_ip=request.src_ip, dst_ip=_SERVICE_IP,
+                         src_port=request.src_port, dst_port=_SERVICE_PORT,
+                         protocol=_PROTO_UDP)
+
+    def _server_ingress(self, request: Request) -> None:
+        request.stamp("nic_rx", self.sim.now)
+        queue_index = self.rss.steer_flow(self._flow_of(request))
+        if self.queues[queue_index].try_put(request):
+            self._work_signal.fire()
+        else:
+            self.drop(request)
+
+    # -- workers with stealing -------------------------------------------------------
+
+    def _worker_loop(self, worker: WorkerCore):
+        my_queue = self.queues[worker.worker_id]
+        thread = worker.thread
+        n = self.config.workers
+        while True:
+            ok, request = my_queue.try_get()
+            if not ok:
+                # Hunt through the other queues (ZygOS's steal scan).
+                request = yield from self._steal_scan(worker)
+            if request is None:
+                # Nothing anywhere: sleep until new work arrives.
+                worker.begin_wait()
+                yield self._work_signal.wait()
+                worker.end_wait()
+                continue
+            yield thread.execute(self.costs.networker_pkt_ns)
+            yield thread.execute(self.costs.worker_rx_ns)
+            yield from worker.run_request(request)
+            yield thread.execute(self.costs.worker_response_tx_ns)
+            self.respond(request)
+
+    def _steal_scan(self, worker: WorkerCore):
+        """Probe remote queues round-robin; returns a request or None."""
+        thread = worker.thread
+        n = self.config.workers
+        for offset in range(1, n):
+            victim = (worker.worker_id + offset) % n
+            yield thread.execute(self.config.probe_cost_ns)
+            ok, request = self.queues[victim].try_get()
+            if ok:
+                yield thread.execute(self.config.steal_cost_ns)
+                self.steals += 1
+                return request
+            self.failed_probes += 1
+        return None

@@ -1,0 +1,78 @@
+"""Cross-system comparison under dispersion (§2.2's four problems)."""
+
+import pytest
+
+from repro.config import PreemptionConfig, ShinjukuConfig
+from repro.experiments.harness import RunConfig, run_point
+from repro.systems.rpcvalet import RpcValetConfig, RpcValetSystem
+from repro.systems.rss_system import RssSystem, RssSystemConfig
+from repro.systems.shinjuku import ShinjukuSystem
+from repro.systems.workstealing import WorkStealingConfig, WorkStealingSystem
+from repro.units import ms, us
+from repro.workload.distributions import Bimodal
+
+#: A 12 ms window keeps ~30 straggler arrivals in the measurement, so
+#: worker-blocking episodes appear reliably rather than by seed luck.
+FAST = RunConfig(seed=17, horizon_ns=ms(12.0), warmup_ns=ms(2.0))
+#: Millisecond-scale stragglers mixed into microsecond traffic — the
+#: §2.2-2 co-location scenario where preemption is decisive.  At 0.5%
+#: the slow class sits above the 99th percentile, so p99 measures what
+#: happens to the *fast* class.
+HARSH = Bimodal(us(1.0), us(1000.0), 0.005)
+WORKERS = 4
+LOAD = 500e3  # ~82% of the 4 workers' capacity
+
+
+def _tail(system_factory):
+    metrics = run_point(system_factory, LOAD, HARSH, FAST)
+    assert metrics.latency is not None
+    return metrics.latency.p99_ns
+
+
+def _rss(sim, rngs, metrics):
+    return RssSystem(sim, rngs, metrics,
+                     config=RssSystemConfig(workers=WORKERS))
+
+
+def _stealing(sim, rngs, metrics):
+    return WorkStealingSystem(sim, rngs, metrics,
+                              config=WorkStealingConfig(workers=WORKERS))
+
+
+def _valet(sim, rngs, metrics):
+    return RpcValetSystem(sim, rngs, metrics,
+                          config=RpcValetConfig(workers=WORKERS))
+
+
+def _shinjuku(sim, rngs, metrics):
+    return ShinjukuSystem(
+        sim, rngs, metrics,
+        config=ShinjukuConfig(
+            workers=WORKERS,
+            preemption=PreemptionConfig(time_slice_ns=us(10.0))))
+
+
+class TestSection22Ordering:
+    """The qualitative ordering §2.2 predicts at this load."""
+
+    def test_stealing_beats_plain_rss(self):
+        # Problem 1: work stealing alleviates RSS imbalance.
+        assert _tail(_stealing) < _tail(_rss)
+
+    def test_central_queue_beats_stealing(self):
+        # Problem 1 again: a global queue eliminates imbalance.
+        assert _tail(_valet) < _tail(_stealing)
+
+    def test_preemption_beats_central_queue(self):
+        # Problem 2: only preemption bounds the tail under dispersion.
+        assert _tail(_shinjuku) < _tail(_valet)
+
+    def test_preemptive_tail_near_slice_scale(self):
+        """Preemption keeps the fast-class p99 within a small multiple
+        of the time slice, not the straggler scale."""
+        tail = _tail(_shinjuku)
+        assert tail < us(100.0)
+
+    def test_rss_tail_at_straggler_scale(self):
+        tail = _tail(_rss)
+        assert tail > us(300.0)

@@ -1,0 +1,108 @@
+"""Smoke tests: every paper figure regenerates at reduced scale.
+
+These validate structure and the headline *shape* criteria at a scale
+small enough for CI; the benchmarks run the full-scale versions.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+)
+from repro.experiments.harness import RunConfig
+from repro.experiments.report import render_figure
+from repro.units import ms
+
+SMOKE = RunConfig(seed=21, horizon_ns=ms(6.0), warmup_ns=ms(1.0))
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return figure3(config=SMOKE, scale=0.5, outstanding=(1, 3, 5),
+                   worker_counts=(16, 4))
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2(config=SMOKE, scale=0.5,
+                       rates=[200e3, 400e3, 500e3])
+
+    def test_structure(self, result):
+        assert result.figure_id == "fig2"
+        assert {s.label for s in result.series} == {"Shinjuku",
+                                                    "Shinjuku-Offload"}
+        assert all(len(s.xs) == 3 for s in result.series)
+
+    def test_offload_sustains_more_load(self, result):
+        by_label = {s.system_name: s for s in result.sweeps}
+        assert by_label["Shinjuku-Offload"].max_achieved_rps() > \
+            by_label["Shinjuku"].max_achieved_rps()
+
+    def test_renders(self, result):
+        text = render_figure(result)
+        assert "fig2" in text
+        assert "Shinjuku-Offload" in text
+
+
+class TestFigure3:
+    def test_structure(self, fig3_result):
+        assert {s.label for s in fig3_result.series} == {"4 workers",
+                                                         "16 workers"}
+
+    def test_throughput_rises_with_outstanding(self, fig3_result):
+        for series in fig3_result.series:
+            assert series.ys[-1] >= series.ys[0]
+
+    def test_4_workers_gain_most(self, fig3_result):
+        by_label = {s.label: s for s in fig3_result.series}
+        gain4 = by_label["4 workers"].ys[-1] / by_label["4 workers"].ys[0]
+        gain16 = by_label["16 workers"].ys[-1] / by_label["16 workers"].ys[0]
+        assert gain4 > gain16
+
+    def test_16_worker_plateau_higher(self, fig3_result):
+        by_label = {s.label: s for s in fig3_result.series}
+        assert by_label["16 workers"].ys[-1] > by_label["4 workers"].ys[-1]
+
+
+class TestFigure4:
+    def test_offload_wins_fixed_5us(self):
+        result = figure4(config=SMOKE, scale=0.5, rates=[300e3, 550e3])
+        by_label = {s.system_name: s for s in result.sweeps}
+        assert by_label["Shinjuku-Offload"].max_achieved_rps() > \
+            by_label["Shinjuku"].max_achieved_rps()
+
+
+class TestFigure5:
+    def test_offload_wins_fixed_100us(self):
+        result = figure5(config=SMOKE, scale=0.35, rates=[100e3, 155e3])
+        by_label = {s.system_name: s for s in result.sweeps}
+        assert by_label["Shinjuku-Offload"].max_achieved_rps() > \
+            by_label["Shinjuku"].max_achieved_rps()
+
+
+class TestFigure6:
+    def test_shinjuku_greatly_outperforms(self):
+        """The §5.1 bottleneck: at fixed 1 µs with 15/16 workers,
+        vanilla Shinjuku sustains at least double the throughput."""
+        result = figure6(config=SMOKE, scale=0.5,
+                         rates=[1.5e6, 3e6, 4.5e6])
+        by_label = {s.system_name: s for s in result.sweeps}
+        assert by_label["Shinjuku"].max_achieved_rps() > \
+            2.0 * by_label["Shinjuku-Offload"].max_achieved_rps()
+
+    def test_offload_workers_wait_more_at_saturation(self):
+        """§4.1: 'the Shinjuku-Offload workers spend [far] more time
+        waiting for work from the dispatcher' — compared, as the paper
+        does, at each system's own saturation point."""
+        result = figure6(config=SMOKE, scale=0.5, rates=[4.5e6])
+        by_label = {s.system_name: s for s in result.sweeps}
+        offload_wait = by_label["Shinjuku-Offload"].points[0] \
+            .metrics.worker_wait_fraction
+        shinjuku_wait = by_label["Shinjuku"].points[0] \
+            .metrics.worker_wait_fraction
+        assert offload_wait > 1.2 * shinjuku_wait

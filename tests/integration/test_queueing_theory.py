@@ -1,0 +1,122 @@
+"""Simulator-vs-theory validation.
+
+A served system stripped of all overheads is a textbook queue; the
+discrete-event substrate must reproduce the closed-form results.  These
+tests ground every latency number the reproduction reports.
+"""
+
+import pytest
+
+from repro.analysis.queueing import (
+    mg1_mean_sojourn_ns,
+    mm1_mean_sojourn_ns,
+    mm1_sojourn_percentile_ns,
+    mmc_mean_sojourn_ns,
+)
+from repro.config import HostCosts, HostMachineConfig
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.systems.rpcvalet import RpcValetConfig, RpcValetSystem
+from repro.units import ms, us
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.distributions import (
+    Bimodal,
+    Exponential,
+    Fixed,
+    ServiceTimeDistribution,
+)
+from repro.workload.generator import OpenLoopLoadGenerator
+
+#: All per-request costs zeroed: the system becomes a pure M/G/c queue.
+_FREE_COSTS = HostCosts(
+    networker_pkt_ns=0.0, dispatcher_op_ns=0.0, interthread_hop_ns=0.0,
+    worker_rx_ns=0.0, worker_response_tx_ns=0.0, worker_notify_ns=0.0,
+    context_spawn_ns=0.0, context_save_ns=0.0, context_restore_ns=0.0)
+
+
+def simulate_queue(servers: int, rate_rps: float,
+                   distribution: ServiceTimeDistribution,
+                   horizon_ns: float = ms(60.0), seed: int = 11):
+    """Run a zero-overhead central-queue system; return the collector."""
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    collector = MetricsCollector(sim, warmup_ns=ms(5.0))
+    system = RpcValetSystem(
+        sim, rngs, collector,
+        config=RpcValetConfig(
+            workers=servers, assign_cost_ns=0.0, delivery_ns=0.0,
+            host=HostMachineConfig(costs=_FREE_COSTS)),
+        client_wire_ns=0.0)
+    system.start()
+    generator = OpenLoopLoadGenerator(
+        sim, system.ingress, PoissonArrivals(rate_rps), rngs, collector,
+        horizon_ns=horizon_ns, distribution=distribution)
+    generator.start()
+    sim.run(until=horizon_ns)
+    return collector
+
+
+class TestMm1Validation:
+    def test_mean_sojourn_matches_theory(self):
+        rate, mean_service = 500e3, us(1.0)
+        collector = simulate_queue(1, rate, Exponential(mean_service))
+        expected = mm1_mean_sojourn_ns(rate, mean_service)
+        assert collector.latency.mean() == pytest.approx(expected, rel=0.08)
+
+    def test_p50_matches_exponential_sojourn(self):
+        rate, mean_service = 600e3, us(1.0)
+        collector = simulate_queue(1, rate, Exponential(mean_service))
+        expected = mm1_sojourn_percentile_ns(rate, mean_service, 50.0)
+        assert collector.latency.percentile(50.0) == pytest.approx(
+            expected, rel=0.1)
+
+    def test_p99_matches_exponential_sojourn(self):
+        rate, mean_service = 600e3, us(1.0)
+        collector = simulate_queue(1, rate, Exponential(mean_service),
+                                   horizon_ns=ms(120.0))
+        expected = mm1_sojourn_percentile_ns(rate, mean_service, 99.0)
+        assert collector.latency.percentile(99.0) == pytest.approx(
+            expected, rel=0.15)
+
+
+class TestMmcValidation:
+    def test_mm4_mean_sojourn(self):
+        rate, mean_service = 2.8e6, us(1.0)  # rho = 0.7 over 4 servers
+        collector = simulate_queue(4, rate, Exponential(mean_service))
+        expected = mmc_mean_sojourn_ns(rate, mean_service, servers=4)
+        assert collector.latency.mean() == pytest.approx(expected, rel=0.08)
+
+    def test_pooling_gain_visible_in_simulation(self):
+        mean_service = us(1.0)
+        pooled = simulate_queue(4, 2.4e6, Exponential(mean_service))
+        single = simulate_queue(1, 600e3, Exponential(mean_service))
+        assert pooled.latency.mean() < single.latency.mean()
+
+
+class TestMg1Validation:
+    def test_md1_mean_sojourn(self):
+        rate, service = 600e3, us(1.0)
+        collector = simulate_queue(1, rate, Fixed(service))
+        expected = mg1_mean_sojourn_ns(rate, service, scv=0.0)
+        assert collector.latency.mean() == pytest.approx(expected, rel=0.08)
+
+    def test_bimodal_pk_mean_sojourn(self):
+        """Pollaczek-Khinchine with the dispersion the paper studies."""
+        dist = Bimodal(us(1.0), us(20.0), p_slow=0.1)
+        rate = 200e3  # rho ~ 0.58
+        collector = simulate_queue(1, rate, dist,
+                                   horizon_ns=ms(120.0))
+        expected = mg1_mean_sojourn_ns(rate, dist.mean_ns(), dist.scv())
+        assert collector.latency.mean() == pytest.approx(expected, rel=0.1)
+
+    def test_dispersion_penalty_reproduced(self):
+        """Same mean, higher SCV -> strictly worse mean sojourn, in
+        both theory and simulation (§2.2-2)."""
+        smooth = Fixed(us(2.0))
+        dispersed = Bimodal(us(1.0), us(11.0), p_slow=0.1)  # mean 2 us
+        assert dispersed.mean_ns() == pytest.approx(smooth.mean_ns())
+        rate = 300e3
+        sim_smooth = simulate_queue(1, rate, smooth)
+        sim_dispersed = simulate_queue(1, rate, dispersed)
+        assert sim_dispersed.latency.mean() > sim_smooth.latency.mean()

@@ -1,0 +1,67 @@
+"""Integration: identical-trace comparisons across systems."""
+
+import pytest
+
+from repro.config import PreemptionConfig, ShinjukuConfig
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.systems.rpcvalet import RpcValetConfig, RpcValetSystem
+from repro.systems.shinjuku import ShinjukuSystem
+from repro.units import ms, us
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.distributions import Bimodal
+from repro.workload.trace import RequestTrace, TraceReplayer
+
+#: One dispersed trace shared by every system under test.
+TRACE = RequestTrace.record(
+    Bimodal(us(1.0), us(500.0), 0.01), PoissonArrivals(400e3),
+    horizon_ns=ms(8.0), seed=31)
+
+
+def _replay_into(build_system):
+    sim = Simulator()
+    rngs = RngRegistry(1)
+    metrics = MetricsCollector(sim, warmup_ns=ms(1.0))
+    system = build_system(sim, rngs, metrics)
+    system.start()
+    TraceReplayer(sim, system.ingress, TRACE, metrics).start()
+    sim.run(until=TRACE.horizon_ns)
+    return metrics
+
+
+class TestCommonRandomNumbers:
+    def test_same_system_same_trace_identical_results(self):
+        def build(sim, rngs, metrics):
+            return RpcValetSystem(sim, rngs, metrics,
+                                  config=RpcValetConfig(workers=4))
+
+        a = _replay_into(build)
+        b = _replay_into(build)
+        assert a.latency.percentile(99.0) == b.latency.percentile(99.0)
+        assert a.completed == b.completed
+
+    def test_preemption_comparison_without_sampling_noise(self):
+        """The preemptive system beats FCFS on the exact same request
+        stream — no sampling noise in the comparison."""
+        def valet(sim, rngs, metrics):
+            return RpcValetSystem(sim, rngs, metrics,
+                                  config=RpcValetConfig(workers=4))
+
+        def shinjuku(sim, rngs, metrics):
+            return ShinjukuSystem(
+                sim, rngs, metrics,
+                config=ShinjukuConfig(
+                    workers=4,
+                    preemption=PreemptionConfig(time_slice_ns=us(10.0))))
+
+        fcfs = _replay_into(valet)
+        preemptive = _replay_into(shinjuku)
+        # Both served the same stream.
+        assert fcfs.generated == preemptive.generated == \
+            sum(1 for e in TRACE.entries if e.arrival_ns >= ms(1.0))
+        assert preemptive.latency.percentile(99.0) < \
+            fcfs.latency.percentile(99.0)
+
+    def test_trace_rate_is_as_recorded(self):
+        assert TRACE.offered_rps() == pytest.approx(400e3, rel=0.1)

@@ -1,0 +1,66 @@
+"""Property-based tests for percentile correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.reservoir import LatencyReservoir
+
+samples = st.lists(st.floats(min_value=0.0, max_value=1e9,
+                             allow_nan=False, allow_infinity=False),
+                   min_size=1, max_size=500)
+
+
+class TestPercentileProperties:
+    @given(samples, st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_percentile_within_bounds(self, data, p):
+        res = LatencyReservoir()
+        res.extend(data)
+        value = res.percentile(p)
+        assert min(data) <= value <= max(data)
+
+    @given(samples)
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_monotone_in_p(self, data):
+        res = LatencyReservoir()
+        res.extend(data)
+        values = [res.percentile(p) for p in (0, 25, 50, 75, 90, 99, 100)]
+        assert values == sorted(values)
+
+    @given(samples)
+    @settings(max_examples=60, deadline=None)
+    def test_p100_is_max(self, data):
+        res = LatencyReservoir()
+        res.extend(data)
+        assert res.percentile(100.0) == max(data)
+
+    @given(samples)
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_is_an_observed_sample(self, data):
+        """'lower' interpolation always reports a real observation."""
+        res = LatencyReservoir()
+        res.extend(data)
+        for p in (1, 50, 99, 99.9):
+            assert res.percentile(p) in data
+
+    @given(samples)
+    @settings(max_examples=60, deadline=None)
+    def test_mean_matches_numpy(self, data):
+        res = LatencyReservoir()
+        res.extend(data)
+        # The reservoir sums in sorted order; float addition is not
+        # associative, so allow last-ulp differences.
+        expected = float(np.mean(np.asarray(data)))
+        assert res.mean() == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+    @given(samples, samples)
+    @settings(max_examples=40, deadline=None)
+    def test_insertion_order_irrelevant(self, a, b):
+        r1 = LatencyReservoir()
+        r1.extend(a + b)
+        r2 = LatencyReservoir()
+        r2.extend(b + a)
+        for p in (50.0, 99.0):
+            assert r1.percentile(p) == r2.percentile(p)

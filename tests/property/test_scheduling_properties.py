@@ -1,0 +1,106 @@
+"""Property-based tests for scheduler invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.queuing import OutstandingTracker
+from repro.errors import SchedulingError
+from repro.runtime.request import Request
+from repro.runtime.taskqueue import QueuePolicy, TaskQueue
+from repro.sim.engine import Simulator
+
+
+class TestTrackerInvariants:
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=6),
+           st.lists(st.booleans(), max_size=400))
+    @settings(max_examples=80, deadline=None)
+    def test_outstanding_always_within_bounds(self, n_workers, target, ops):
+        """Drive the tracker with its own select() (credit on True) and
+        random debits (False): every intermediate state is legal."""
+        tracker = OutstandingTracker(n_workers=n_workers, target=target)
+        credited = []
+        for op in ops:
+            if op:
+                wid = tracker.select()
+                if wid is not None:
+                    tracker.credit(wid)
+                    credited.append(wid)
+            else:
+                if credited:
+                    tracker.debit(credited.pop())
+            for w in range(n_workers):
+                assert 0 <= tracker.outstanding(w) <= target
+            assert tracker.total <= n_workers * target
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_select_fills_evenly_before_repeating(self, n_workers, target):
+        """select() never puts a second request on any worker while
+        another has none, and so on level by level."""
+        tracker = OutstandingTracker(n_workers=n_workers, target=target)
+        picks = []
+        while True:
+            wid = tracker.select()
+            if wid is None:
+                break
+            tracker.credit(wid)
+            picks.append(wid)
+            loads = [tracker.outstanding(w) for w in range(n_workers)]
+            assert max(loads) - min(loads) <= 1
+        assert len(picks) == n_workers * target
+
+
+class TestTaskQueueProperties:
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_preserves_arrival_order(self, services):
+        sim = Simulator()
+        queue = TaskQueue(sim)
+        requests = [Request(s) for s in services]
+        for req in requests:
+            queue.enqueue(req)
+        out = []
+        while True:
+            ok, req = queue.try_dequeue()
+            if not ok:
+                break
+            out.append(req)
+        assert out == requests
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_srpt_dequeues_sorted_by_remaining(self, services):
+        sim = Simulator()
+        queue = TaskQueue(sim, policy=QueuePolicy.SRPT)
+        for s in services:
+            queue.enqueue(Request(s))
+        out = []
+        while True:
+            ok, req = queue.try_dequeue()
+            if not ok:
+                break
+            out.append(req.remaining_ns)
+        assert out == sorted(out)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_queue_conservation(self, ops, capacity):
+        sim = Simulator()
+        queue = TaskQueue(sim, capacity=capacity)
+        enqueued = 0
+        dequeued = 0
+        for op in ops:
+            if op:
+                if queue.enqueue(Request(1.0)):
+                    enqueued += 1
+            else:
+                ok, _req = queue.try_dequeue()
+                if ok:
+                    dequeued += 1
+            assert len(queue) <= capacity
+        assert enqueued == dequeued + len(queue)

@@ -1,0 +1,75 @@
+"""System tests for the ideal-SmartNIC system (§3.1, §5.1)."""
+
+import pytest
+
+from repro.config import PreemptionConfig, ShinjukuOffloadConfig
+from repro.experiments.harness import RunConfig, run_point
+from repro.systems.ideal_offload import IdealOffloadSystem, ideal_offload_config
+from repro.systems.shinjuku_offload import ShinjukuOffloadSystem
+from repro.units import ms, us
+from repro.workload.distributions import BIMODAL_FIG2, Fixed
+
+FAST = RunConfig(seed=3, horizon_ns=ms(3.0), warmup_ns=ms(0.5))
+NO_PREEMPTION = PreemptionConfig(time_slice_ns=None)
+
+
+def _ideal_factory(config=None):
+    def make(sim, rngs, metrics):
+        return IdealOffloadSystem(sim, rngs, metrics, config=config)
+    return make
+
+
+def _stingray_factory(config):
+    def make(sim, rngs, metrics):
+        return ShinjukuOffloadSystem(sim, rngs, metrics, config=config)
+    return make
+
+
+class TestConfigFactory:
+    def test_default_has_fewer_outstanding(self):
+        """§5.2: the CXL-class path needs less latency hiding."""
+        config = ideal_offload_config()
+        assert config.outstanding_per_worker < \
+            ShinjukuOffloadConfig().outstanding_per_worker
+
+    def test_preemption_uses_direct_interrupts(self):
+        config = ideal_offload_config(time_slice_ns=us(10.0))
+        assert config.preemption.mechanism == "direct"
+        assert config.preemption.enabled
+
+    def test_preemption_off_by_default(self):
+        assert not ideal_offload_config().preemption.enabled
+
+
+class TestIdealBeatsPrototype:
+    def test_latency_floor_much_lower(self):
+        ideal = run_point(
+            _ideal_factory(ideal_offload_config(workers=4)),
+            50e3, Fixed(us(1.0)), FAST)
+        prototype = run_point(
+            _stingray_factory(ShinjukuOffloadConfig(
+                workers=4, preemption=NO_PREEMPTION)),
+            50e3, Fixed(us(1.0)), FAST)
+        assert ideal.latency.p50_ns < prototype.latency.p50_ns - us(2.0)
+
+    def test_dispatcher_no_longer_the_bottleneck(self):
+        """§5.1-1: line-rate scheduling removes the Figure 6 ceiling —
+        16 ideal workers at 1 µs reach several M RPS."""
+        ideal = run_point(
+            _ideal_factory(ideal_offload_config(
+                workers=16, outstanding_per_worker=2)),
+            6e6, Fixed(us(1.0)), FAST)
+        prototype = run_point(
+            _stingray_factory(ShinjukuOffloadConfig(
+                workers=16, outstanding_per_worker=5,
+                preemption=NO_PREEMPTION)),
+            6e6, Fixed(us(1.0)), FAST)
+        assert ideal.throughput.achieved_rps > \
+            2.5 * prototype.throughput.achieved_rps
+
+    def test_dispersion_still_handled_with_direct_preemption(self):
+        config = ideal_offload_config(workers=4, time_slice_ns=us(10.0))
+        metrics = run_point(_ideal_factory(config), 300e3, BIMODAL_FIG2,
+                            FAST)
+        assert metrics.preemptions > 0
+        assert metrics.latency.p99_ns < us(120.0)

@@ -1,0 +1,79 @@
+"""System tests for the MICA-style key-partitioned dataplane."""
+
+import pytest
+
+from repro.experiments.harness import RunConfig, run_point
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.systems.mica_system import MicaSystem, MicaSystemConfig
+from repro.units import ms, us
+from repro.workload.apps import KvsApp
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.distributions import Fixed
+from repro.workload.generator import OpenLoopLoadGenerator
+
+FAST = RunConfig(seed=3, horizon_ns=ms(3.0), warmup_ns=ms(0.5))
+
+
+def _factory(config):
+    def make(sim, rngs, metrics):
+        return MicaSystem(sim, rngs, metrics, config=config)
+    return make
+
+
+def _run_kvs(config, rate, app, horizon=ms(2.0)):
+    sim = Simulator()
+    rngs = RngRegistry(5)
+    metrics = MetricsCollector(sim)
+    system = MicaSystem(sim, rngs, metrics, config=config)
+    system.start()
+    generator = OpenLoopLoadGenerator(
+        sim, system.ingress, PoissonArrivals(rate), rngs, metrics,
+        horizon_ns=horizon, app=app)
+    generator.start()
+    sim.run()
+    return system, metrics
+
+
+class TestBasicService:
+    def test_serves_light_load(self):
+        metrics = run_point(_factory(MicaSystemConfig(workers=8)), 200e3,
+                            Fixed(us(1.0)), FAST)
+        assert metrics.throughput.achieved_rps == pytest.approx(200e3,
+                                                                rel=0.1)
+
+
+class TestKeyPartitioning:
+    def test_same_key_same_core(self, sim, rngs, metrics):
+        from repro.runtime.request import Request
+        system = MicaSystem(sim, rngs, metrics,
+                            config=MicaSystemConfig(workers=8))
+        req_a = Request(service_ns=1.0, key=42)
+        req_b = Request(service_ns=1.0, key=42)
+        assert system._partition_of(req_a) == system._partition_of(req_b)
+
+    def test_keys_spread_over_cores(self, sim, rngs, metrics):
+        from repro.runtime.request import Request
+        system = MicaSystem(sim, rngs, metrics,
+                            config=MicaSystemConfig(workers=8))
+        partitions = {system._partition_of(Request(1.0, key=k))
+                      for k in range(64)}
+        assert partitions == set(range(8))
+
+    def test_zipf_skew_imbalances_cores(self):
+        """The EREW weakness: a hot key concentrates load on its owner
+        core."""
+        system, _metrics = _run_kvs(
+            MicaSystemConfig(workers=8), rate=400e3,
+            app=KvsApp(n_keys=1000, zipf_s=1.2))
+        completed = sorted((w.completed for w in system.workers),
+                           reverse=True)
+        assert completed[0] > 2 * completed[-1]
+
+    def test_keyless_requests_fall_back_to_flow(self, sim, rngs, metrics):
+        from repro.runtime.request import Request
+        system = MicaSystem(sim, rngs, metrics,
+                            config=MicaSystemConfig(workers=8))
+        request = Request(service_ns=1.0, key=None, src_port=12345)
+        assert system._partition_of(request) == 12345 % 8

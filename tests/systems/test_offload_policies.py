@@ -1,0 +1,85 @@
+"""The informed NIC's policy configurability, exercised live.
+
+§2.2-3 faults RPCValet for lacking configurability and §5.1-1 faults
+Elastic RSS for a policy "fixed upfront"; the NIC-resident dispatcher
+accepts pluggable worker-selection policies and queue disciplines.
+These tests swap them on a running Shinjuku-Offload.
+"""
+
+import pytest
+
+from repro.config import PreemptionConfig, ShinjukuOffloadConfig
+from repro.core.policy import CacheAffinityPolicy, StrictRoundRobinPolicy
+from repro.metrics.collector import MetricsCollector
+from repro.runtime.taskqueue import QueuePolicy
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.systems.shinjuku_offload import ShinjukuOffloadSystem
+from repro.units import ms, us
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.distributions import Bimodal, Fixed
+from repro.workload.generator import OpenLoopLoadGenerator
+
+NO_PREEMPTION = PreemptionConfig(time_slice_ns=None)
+
+
+def _run(policy=None, queue_policy=None, preemption=NO_PREEMPTION,
+         rate=300e3, dist=Fixed(us(2.0)), workers=4, outstanding=2,
+         horizon=ms(3.0)):
+    sim = Simulator()
+    rngs = RngRegistry(13)
+    metrics = MetricsCollector(sim, warmup_ns=ms(0.5))
+    system = ShinjukuOffloadSystem(
+        sim, rngs, metrics,
+        config=ShinjukuOffloadConfig(
+            workers=workers, outstanding_per_worker=outstanding,
+            preemption=preemption),
+        policy=policy)
+    if queue_policy is not None:
+        system.dispatcher.task_queue.policy = queue_policy
+    system.start()
+    generator = OpenLoopLoadGenerator(
+        sim, system.ingress, PoissonArrivals(rate), rngs, metrics,
+        horizon_ns=horizon, distribution=dist)
+    generator.start()
+    sim.run(until=horizon)
+    return system, metrics.summarize(offered_rps=rate)
+
+
+class TestWorkerSelectionPolicies:
+    def test_round_robin_spreads_work(self):
+        system, run = _run(policy=StrictRoundRobinPolicy())
+        assert run.throughput.completed > 0
+        completions = [worker.completed for worker in system.workers]
+        spread = max(completions) / max(1, min(completions))
+        assert spread < 1.3
+
+    def test_affinity_policy_runs_with_preemption(self):
+        policy = CacheAffinityPolicy()
+        system, run = _run(
+            policy=policy,
+            preemption=PreemptionConfig(time_slice_ns=us(10.0)),
+            rate=100e3, dist=Fixed(us(30.0)), outstanding=1)
+        assert run.preemptions > 0
+        assert policy.affinity_hits > 0
+        assert sum(w.warm_restores for w in system.workers) > 0
+
+
+class TestQueueDisciplines:
+    def test_srpt_reorders_dispatch(self):
+        """With SRPT the short class overtakes queued stragglers, so
+        the short-request median beats FIFO's under dispersion."""
+        dispersed = Bimodal(us(1.0), us(50.0), p_slow=0.3)
+        _sys_fifo, fifo = _run(queue_policy=QueuePolicy.FIFO,
+                               rate=200e3, dist=dispersed)
+        _sys_srpt, srpt = _run(queue_policy=QueuePolicy.SRPT,
+                               rate=200e3, dist=dispersed)
+        assert srpt.latency.p50_ns <= fifo.latency.p50_ns
+        assert srpt.mean_slowdown < fifo.mean_slowdown
+
+    def test_srpt_completes_everything_below_saturation(self):
+        _system, run = _run(queue_policy=QueuePolicy.SRPT, rate=150e3,
+                            dist=Bimodal(us(1.0), us(50.0), 0.3))
+        # Below saturation even the deprioritized long class finishes.
+        assert run.throughput.achieved_rps == pytest.approx(150e3,
+                                                            rel=0.15)

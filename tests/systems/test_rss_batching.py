@@ -1,0 +1,76 @@
+"""System tests for IX-style adaptive batching (§2.1)."""
+
+import pytest
+
+from repro.experiments.harness import RunConfig, run_point
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.systems.rss_system import RssSystem, RssSystemConfig
+from repro.units import ms, us
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.distributions import Fixed
+from repro.workload.generator import OpenLoopLoadGenerator
+
+FAST = RunConfig(seed=3, horizon_ns=ms(4.0), warmup_ns=ms(0.8))
+#: A meaningful poll-round cost so amortization matters.
+POLL_NS = 400.0
+
+
+def _factory(batch_max):
+    config = RssSystemConfig(workers=2, batch_max=batch_max,
+                             poll_round_ns=POLL_NS)
+
+    def make(sim, rngs, metrics):
+        return RssSystem(sim, rngs, metrics, config=config)
+    return make
+
+
+def _run_system(batch_max, rate):
+    sim = Simulator()
+    rngs = RngRegistry(7)
+    metrics = MetricsCollector(sim, warmup_ns=ms(0.5))
+    system = RssSystem(sim, rngs, metrics,
+                       config=RssSystemConfig(workers=2,
+                                              batch_max=batch_max,
+                                              poll_round_ns=POLL_NS))
+    system.start()
+    generator = OpenLoopLoadGenerator(
+        sim, system.ingress, PoissonArrivals(rate), rngs, metrics,
+        horizon_ns=ms(4.0), distribution=Fixed(us(1.0)))
+    generator.start()
+    sim.run(until=ms(4.0))
+    return system, metrics.summarize(offered_rps=rate)
+
+
+class TestAdaptiveBatching:
+    def test_batching_raises_capacity(self):
+        """Amortizing the poll round over 16 requests raises the
+        per-worker ceiling (IX's 'high throughput' half)."""
+        unbatched = run_point(_factory(1), 2e6, Fixed(us(1.0)), FAST)
+        batched = run_point(_factory(16), 2e6, Fixed(us(1.0)), FAST)
+        assert batched.throughput.achieved_rps > \
+            1.1 * unbatched.throughput.achieved_rps
+
+    def test_batches_degenerate_at_low_load(self):
+        """The 'adaptive' half: with an empty queue, batches are size
+        one and latency does not suffer."""
+        system, run = _run_system(batch_max=16, rate=50e3)
+        assert system.batched_rounds < run.throughput.completed * 0.05
+
+    def test_batches_form_under_pressure(self):
+        system, _run = _run_system(batch_max=16, rate=900e3)
+        assert system.batched_rounds > 0
+
+    def test_low_load_latency_unaffected_by_batch_cap(self):
+        _s1, small = _run_system(batch_max=1, rate=50e3)
+        _s2, large = _run_system(batch_max=16, rate=50e3)
+        assert large.latency.p50_ns == pytest.approx(
+            small.latency.p50_ns, rel=0.05)
+
+    def test_config_validation(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            RssSystemConfig(batch_max=0)
+        with pytest.raises(ConfigError):
+            RssSystemConfig(poll_round_ns=-1.0)

@@ -1,0 +1,82 @@
+"""System tests for the IX-style RSS dataplane."""
+
+import pytest
+
+from repro.experiments.harness import RunConfig, run_point
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.systems.rss_system import RssSystem, RssSystemConfig
+from repro.units import ms, us
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.distributions import BIMODAL_FIG2, Fixed
+from repro.workload.generator import ClientPool, OpenLoopLoadGenerator
+
+FAST = RunConfig(seed=3, horizon_ns=ms(3.0), warmup_ns=ms(0.5))
+
+
+def _factory(config):
+    def make(sim, rngs, metrics):
+        return RssSystem(sim, rngs, metrics, config=config)
+    return make
+
+
+class TestBasicService:
+    def test_serves_light_load(self):
+        metrics = run_point(_factory(RssSystemConfig(workers=8)), 200e3,
+                            Fixed(us(5.0)), FAST)
+        assert metrics.throughput.achieved_rps == pytest.approx(200e3,
+                                                                rel=0.1)
+
+    def test_lowest_latency_floor_of_all_systems(self):
+        """Run-to-completion with no dispatcher: the fastest path at
+        light load (the MICA/IX ultra-low-latency regime, §2.2-4)."""
+        metrics = run_point(_factory(RssSystemConfig(workers=4)), 50e3,
+                            Fixed(200.0), FAST)
+        # ~2 us of wire + sub-us of processing.
+        assert metrics.latency.p50_ns < us(4.0)
+
+    def test_flow_affinity(self):
+        """All packets of one flow land on one core."""
+        sim = Simulator()
+        rngs = RngRegistry(5)
+        metrics = MetricsCollector(sim)
+        system = RssSystem(sim, rngs, metrics,
+                           config=RssSystemConfig(workers=8))
+        system.start()
+        generator = OpenLoopLoadGenerator(
+            sim, system.ingress, PoissonArrivals(100e3), rngs, metrics,
+            horizon_ns=ms(2.0), distribution=Fixed(us(1.0)),
+            clients=ClientPool(n_clients=1, connections_per_client=2))
+        generator.start()
+        sim.run()
+        # 2 flows -> at most 2 queues saw traffic.
+        used = sum(1 for count in system.rss.counts if count > 0)
+        assert used <= 2
+
+
+class TestDispersionWeakness:
+    def test_hol_blocking_explodes_tail(self):
+        """§2.2-2: without preemption, short requests get stuck behind
+        the 100 us requests and p99 explodes relative to preemptive
+        centralized scheduling at the same load."""
+        from repro.config import PreemptionConfig, ShinjukuConfig
+        from repro.systems.shinjuku import ShinjukuSystem
+
+        rss = run_point(_factory(RssSystemConfig(workers=4)), 300e3,
+                        BIMODAL_FIG2, FAST)
+
+        def shinjuku_factory(sim, rngs, metrics):
+            return ShinjukuSystem(
+                sim, rngs, metrics,
+                config=ShinjukuConfig(
+                    workers=4,
+                    preemption=PreemptionConfig(time_slice_ns=us(10.0))))
+
+        shinjuku = run_point(shinjuku_factory, 300e3, BIMODAL_FIG2, FAST)
+        assert rss.latency.p99_ns > 2.0 * shinjuku.latency.p99_ns
+
+    def test_no_preemption_ever(self):
+        metrics = run_point(_factory(RssSystemConfig(workers=4)), 200e3,
+                            BIMODAL_FIG2, FAST)
+        assert metrics.preemptions == 0

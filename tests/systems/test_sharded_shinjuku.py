@@ -1,0 +1,117 @@
+"""System tests for the sharded (multi-dispatcher) Shinjuku (§2.2-3)."""
+
+import pytest
+
+from repro.config import PreemptionConfig
+from repro.experiments.harness import RunConfig, run_point
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.systems.sharded_shinjuku import (
+    ShardedShinjukuConfig,
+    ShardedShinjukuSystem,
+)
+from repro.units import ms, us
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.distributions import Fixed
+from repro.workload.generator import ClientPool, OpenLoopLoadGenerator
+
+FAST = RunConfig(seed=3, horizon_ns=ms(3.0), warmup_ns=ms(0.5))
+NO_PREEMPTION = PreemptionConfig(time_slice_ns=None)
+
+
+def _factory(config):
+    def make(sim, rngs, metrics):
+        return ShardedShinjukuSystem(sim, rngs, metrics, config=config)
+    return make
+
+
+def _run(config, rate, dist, clients=None, horizon=ms(3.0), seed=5):
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    metrics = MetricsCollector(sim, warmup_ns=ms(0.5))
+    system = ShardedShinjukuSystem(sim, rngs, metrics, config=config)
+    system.start()
+    generator = OpenLoopLoadGenerator(
+        sim, system.ingress, PoissonArrivals(rate), rngs, metrics,
+        horizon_ns=horizon, distribution=dist, clients=clients)
+    generator.start()
+    sim.run()
+    return system, metrics
+
+
+class TestBasicService:
+    def test_serves_light_load(self):
+        config = ShardedShinjukuConfig(shards=2, workers_per_shard=3,
+                                       preemption=NO_PREEMPTION)
+        metrics = run_point(_factory(config), 200e3, Fixed(us(5.0)), FAST)
+        assert metrics.throughput.achieved_rps == pytest.approx(200e3,
+                                                                rel=0.1)
+
+    def test_all_shards_receive_work(self):
+        config = ShardedShinjukuConfig(shards=2, workers_per_shard=2,
+                                       preemption=NO_PREEMPTION)
+        system, _metrics = _run(config, 400e3, Fixed(us(2.0)))
+        assert all(shard.assigned > 0 for shard in system.shards)
+
+    def test_preemption_works_within_shards(self):
+        config = ShardedShinjukuConfig(
+            shards=2, workers_per_shard=2,
+            preemption=PreemptionConfig(time_slice_ns=us(10.0)))
+        _system, metrics = _run(config, 100e3, Fixed(us(25.0)))
+        assert metrics.preemptions > 0
+        assert metrics.completed > 0
+
+
+class TestSection223Costs:
+    def test_scheduling_core_tax(self, sim, rngs, metrics):
+        """One physical core per shard is burned on dispatch."""
+        config = ShardedShinjukuConfig(shards=3, workers_per_shard=2)
+        system = ShardedShinjukuSystem(sim, rngs, metrics, config=config)
+        scheduling_cores = {shard.networker_thread.core
+                            for shard in system.shards}
+        worker_cores = {worker.thread.core for worker in system.workers}
+        assert len(scheduling_cores) == 3
+        assert scheduling_cores.isdisjoint(worker_cores)
+        assert config.scheduling_cores == 3
+
+    def test_few_flows_imbalance_shards(self):
+        """§2.2-3: RSS across dispatchers 'can again result in load
+        imbalance' — with few flows, shards see unequal traffic."""
+        config = ShardedShinjukuConfig(shards=4, workers_per_shard=2,
+                                       preemption=NO_PREEMPTION)
+        system, _metrics = _run(
+            config, 400e3, Fixed(us(2.0)),
+            clients=ClientPool(n_clients=1, connections_per_client=3))
+        assert system.shard_imbalance() > 1.3
+
+    def test_cross_shard_stranding(self):
+        """A busy shard queues work while another shard idles — the
+        centralized-queue property is lost across shards."""
+        config = ShardedShinjukuConfig(shards=2, workers_per_shard=2,
+                                       preemption=NO_PREEMPTION)
+        # One flow: everything hashes to a single shard.
+        system, metrics = _run(
+            config, 700e3, Fixed(us(5.0)),
+            clients=ClientPool(n_clients=1, connections_per_client=1))
+        hot = max(system.shards, key=lambda s: s.assigned)
+        cold = min(system.shards, key=lambda s: s.assigned)
+        assert cold.assigned == 0
+        # The hot shard saturated (2 workers for a 3.5-worker load)
+        # while the cold shard's workers did nothing.
+        run = metrics.summarize(offered_rps=700e3)
+        assert run.throughput.achieved_rps < 500e3
+        assert hot.assigned > 0
+
+
+class TestValidation:
+    def test_bad_config_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ShardedShinjukuConfig(shards=0)
+        with pytest.raises(ConfigError):
+            ShardedShinjukuConfig(workers_per_shard=0)
+
+    def test_total_workers_property(self):
+        config = ShardedShinjukuConfig(shards=3, workers_per_shard=4)
+        assert config.total_workers == 12

@@ -1,0 +1,114 @@
+"""System tests for vanilla Shinjuku."""
+
+import pytest
+
+from repro.config import PreemptionConfig, ShinjukuConfig
+from repro.experiments.harness import RunConfig, run_point
+from repro.systems.shinjuku import ShinjukuSystem
+from repro.units import ms, us
+from repro.workload.distributions import BIMODAL_FIG2, Fixed
+
+NO_PREEMPTION = PreemptionConfig(time_slice_ns=None)
+
+
+def _factory(config):
+    def make(sim, rngs, metrics):
+        return ShinjukuSystem(sim, rngs, metrics, config=config)
+    return make
+
+
+FAST = RunConfig(seed=3, horizon_ns=ms(3.0), warmup_ns=ms(0.5))
+
+
+class TestBasicService:
+    def test_serves_light_load(self):
+        metrics = run_point(_factory(ShinjukuConfig(workers=3)), 100e3,
+                            Fixed(us(5.0)), FAST)
+        assert metrics.throughput.achieved_rps == pytest.approx(100e3,
+                                                                rel=0.1)
+        assert metrics.throughput.dropped == 0
+
+    def test_latency_above_floor(self):
+        """Latency must include wire + pipeline costs: > 2x client wire
+        plus service."""
+        metrics = run_point(_factory(ShinjukuConfig(workers=3)), 50e3,
+                            Fixed(us(5.0)), FAST)
+        assert metrics.latency is not None
+        assert metrics.latency.p50_ns > us(7.0)
+        assert metrics.latency.p50_ns < us(20.0)
+
+    def test_all_workers_used(self, fast_config):
+        import repro.metrics.collector as collector_mod
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RngRegistry
+        from repro.workload.arrivals import PoissonArrivals
+        from repro.workload.generator import OpenLoopLoadGenerator
+
+        sim = Simulator()
+        rngs = RngRegistry(5)
+        metrics = collector_mod.MetricsCollector(sim)
+        system = ShinjukuSystem(sim, rngs, metrics,
+                                config=ShinjukuConfig(workers=3))
+        system.start()
+        generator = OpenLoopLoadGenerator(
+            sim, system.ingress, PoissonArrivals(400e3), rngs, metrics,
+            horizon_ns=ms(2.0), distribution=Fixed(us(5.0)))
+        generator.start()
+        sim.run()
+        assert all(worker.completed > 0 for worker in system.workers)
+
+
+class TestPreemptionBehaviour:
+    def test_long_requests_preempted(self):
+        config = ShinjukuConfig(
+            workers=3, preemption=PreemptionConfig(time_slice_ns=us(10.0)))
+        metrics = run_point(_factory(config), 100e3, BIMODAL_FIG2, FAST)
+        # 0.5% of requests are 100 us; each is preempted ~9 times.
+        assert metrics.preemptions > 0
+
+    def test_no_preemption_when_disabled(self):
+        config = ShinjukuConfig(workers=3, preemption=NO_PREEMPTION)
+        metrics = run_point(_factory(config), 100e3, BIMODAL_FIG2, FAST)
+        assert metrics.preemptions == 0
+
+    def test_preemption_prevents_hol_blocking(self):
+        """The Shinjuku headline: with dispersion, preemption keeps the
+        p99 of the overall workload bounded near the slice scale rather
+        than the slow-request scale."""
+        with_preemption = run_point(
+            _factory(ShinjukuConfig(
+                workers=3,
+                preemption=PreemptionConfig(time_slice_ns=us(10.0)))),
+            300e3, BIMODAL_FIG2, FAST)
+        without_preemption = run_point(
+            _factory(ShinjukuConfig(workers=3, preemption=NO_PREEMPTION)),
+            300e3, BIMODAL_FIG2, FAST)
+        assert with_preemption.latency.p99_ns < \
+            without_preemption.latency.p99_ns
+
+
+class TestTopology:
+    def test_networker_dispatcher_share_core(self, sim, rngs, metrics):
+        """§4.1: 'pins the networking subsystem and the dispatcher to
+        separate hyperthreads on the same physical core'."""
+        system = ShinjukuSystem(sim, rngs, metrics,
+                                config=ShinjukuConfig(workers=2))
+        assert system.networker_thread.core is system.dispatcher_thread.core
+        assert system.networker_thread is not system.dispatcher_thread
+
+    def test_workers_on_distinct_cores(self, sim, rngs, metrics):
+        system = ShinjukuSystem(sim, rngs, metrics,
+                                config=ShinjukuConfig(workers=3))
+        cores = {worker.thread.core for worker in system.workers}
+        assert len(cores) == 3
+        assert system.networker_thread.core not in cores
+
+
+class TestSaturation:
+    def test_dispatcher_cap_not_worker_cap(self):
+        """With tiny requests and many workers, throughput is pinned by
+        the ~5 M RPS dispatcher, not the workers (§2.2-3)."""
+        config = ShinjukuConfig(workers=15, preemption=NO_PREEMPTION)
+        metrics = run_point(_factory(config), 7e6, Fixed(us(0.4)), FAST)
+        achieved = metrics.throughput.achieved_rps
+        assert 4e6 < achieved < 6e6

@@ -1,0 +1,132 @@
+"""System tests for Shinjuku-Offload (§3.4)."""
+
+import pytest
+
+from repro.config import PreemptionConfig, ShinjukuOffloadConfig
+from repro.errors import ConfigError
+from repro.experiments.harness import RunConfig, run_point
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.systems.shinjuku_offload import ShinjukuOffloadSystem
+from repro.units import ms, us
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.distributions import BIMODAL_FIG2, Fixed
+from repro.workload.generator import OpenLoopLoadGenerator
+
+NO_PREEMPTION = PreemptionConfig(time_slice_ns=None)
+FAST = RunConfig(seed=3, horizon_ns=ms(3.0), warmup_ns=ms(0.5))
+
+
+def _factory(config):
+    def make(sim, rngs, metrics):
+        return ShinjukuOffloadSystem(sim, rngs, metrics, config=config)
+    return make
+
+
+def _run_system(config, rate, dist, horizon=ms(2.0)):
+    sim = Simulator()
+    rngs = RngRegistry(5)
+    metrics = MetricsCollector(sim)
+    system = ShinjukuOffloadSystem(sim, rngs, metrics, config=config)
+    system.start()
+    generator = OpenLoopLoadGenerator(
+        sim, system.ingress, PoissonArrivals(rate), rngs, metrics,
+        horizon_ns=horizon, distribution=dist)
+    generator.start()
+    sim.run()
+    return sim, system, metrics
+
+
+class TestBasicService:
+    def test_serves_light_load(self):
+        config = ShinjukuOffloadConfig(workers=4, preemption=NO_PREEMPTION)
+        metrics = run_point(_factory(config), 100e3, Fixed(us(5.0)), FAST)
+        assert metrics.throughput.achieved_rps == pytest.approx(100e3,
+                                                                rel=0.1)
+        assert metrics.throughput.dropped == 0
+
+    def test_latency_includes_nic_round_trip(self):
+        """The dispatch path crosses the 2.56 µs fabric twice (request
+        down, notify up) plus worker and networker costs — the floor is
+        well above vanilla Shinjuku's."""
+        config = ShinjukuOffloadConfig(workers=4, preemption=NO_PREEMPTION)
+        metrics = run_point(_factory(config), 50e3, Fixed(us(1.0)), FAST)
+        assert metrics.latency.p50_ns > us(6.0)
+
+    def test_requests_walk_the_nic(self):
+        config = ShinjukuOffloadConfig(workers=2, preemption=NO_PREEMPTION)
+        _sim, system, _metrics = _run_system(config, 100e3, Fixed(us(1.0)))
+        assert system.dispatcher.dispatched > 0
+        assert system.dispatcher.completions > 0
+        # Every worker VF saw traffic.
+        assert all(port.rx_count > 0 for port in system.worker_ports)
+
+    def test_all_workers_used(self):
+        config = ShinjukuOffloadConfig(workers=4, preemption=NO_PREEMPTION)
+        _sim, system, _metrics = _run_system(config, 400e3, Fixed(us(5.0)))
+        assert all(worker.completed > 0 for worker in system.workers)
+
+
+class TestQueuingOptimization:
+    def test_outstanding_improves_throughput(self):
+        """§3.4.5: more outstanding requests -> higher plateau."""
+        def capacity(k):
+            config = ShinjukuOffloadConfig(
+                workers=4, outstanding_per_worker=k,
+                preemption=NO_PREEMPTION)
+            metrics = run_point(_factory(config), 2e6, Fixed(us(1.0)), FAST)
+            return metrics.throughput.achieved_rps
+
+        assert capacity(5) > 2.0 * capacity(1)
+
+    def test_outstanding_never_exceeds_target(self):
+        config = ShinjukuOffloadConfig(workers=2, outstanding_per_worker=3,
+                                       preemption=NO_PREEMPTION)
+        _sim, system, _metrics = _run_system(config, 1e6, Fixed(us(2.0)))
+        assert system.tracker.max_total <= 2 * 3
+
+
+class TestPreemptionBehaviour:
+    def test_bimodal_preempted(self):
+        config = ShinjukuOffloadConfig(
+            workers=4, preemption=PreemptionConfig(time_slice_ns=us(10.0)))
+        metrics = run_point(_factory(config), 100e3, BIMODAL_FIG2, FAST)
+        assert metrics.preemptions > 0
+
+    def test_preempted_requests_eventually_finish(self):
+        config = ShinjukuOffloadConfig(
+            workers=2, preemption=PreemptionConfig(time_slice_ns=us(10.0)))
+        _sim, _system, metrics = _run_system(config, 50e3, Fixed(us(45.0)))
+        # Every 45 us request needs ~4 slices across possibly many
+        # workers, yet all measured requests complete.
+        assert metrics.completed > 0
+        assert metrics.preemptions >= 3 * metrics.completed
+
+
+class TestHardwareConstraints:
+    def test_needs_four_arm_cores(self, sim, rngs, metrics):
+        from repro.config import StingrayConfig
+        with pytest.raises(ConfigError):
+            ShinjukuOffloadSystem(
+                sim, rngs, metrics,
+                config=ShinjukuOffloadConfig(
+                    workers=2, nic=StingrayConfig(arm_cores=3)))
+
+    def test_one_vf_per_worker(self, sim, rngs, metrics):
+        """§3.4.2: 'one virtual interface per worker'."""
+        system = ShinjukuOffloadSystem(
+            sim, rngs, metrics,
+            config=ShinjukuOffloadConfig(workers=6))
+        assert len(system.worker_ports) == 6
+        macs = {port.mac for port in system.worker_ports}
+        assert len(macs) == 6
+
+    def test_no_host_core_spent_on_dispatch(self, sim, rngs, metrics):
+        """The offload headline: dispatcher/networker consume zero host
+        threads, so all pinned host threads belong to workers."""
+        system = ShinjukuOffloadSystem(
+            sim, rngs, metrics, config=ShinjukuOffloadConfig(workers=4))
+        pinned = [t for t in system.machine.threads
+                  if t.pinned_role is not None]
+        assert all(t.pinned_role.startswith("worker") for t in pinned)

@@ -1,0 +1,87 @@
+"""System tests for the ZygOS-style work-stealing dataplane."""
+
+import pytest
+
+from repro.experiments.harness import RunConfig, run_point
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.systems.rss_system import RssSystem, RssSystemConfig
+from repro.systems.workstealing import WorkStealingConfig, WorkStealingSystem
+from repro.units import ms, us
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.distributions import Exponential, Fixed
+from repro.workload.generator import ClientPool, OpenLoopLoadGenerator
+
+FAST = RunConfig(seed=3, horizon_ns=ms(3.0), warmup_ns=ms(0.5))
+
+
+def _factory(config):
+    def make(sim, rngs, metrics):
+        return WorkStealingSystem(sim, rngs, metrics, config=config)
+    return make
+
+
+class TestBasicService:
+    def test_serves_light_load(self):
+        metrics = run_point(_factory(WorkStealingConfig(workers=8)), 200e3,
+                            Fixed(us(5.0)), FAST)
+        assert metrics.throughput.achieved_rps == pytest.approx(200e3,
+                                                                rel=0.1)
+
+    def test_steals_happen_under_skew(self):
+        """Steer everything to one queue (one flow); other workers must
+        steal it."""
+        sim = Simulator()
+        rngs = RngRegistry(5)
+        metrics = MetricsCollector(sim)
+        system = WorkStealingSystem(sim, rngs, metrics,
+                                    config=WorkStealingConfig(workers=4))
+        system.start()
+        generator = OpenLoopLoadGenerator(
+            sim, system.ingress, PoissonArrivals(400e3), rngs, metrics,
+            horizon_ns=ms(2.0), distribution=Fixed(us(5.0)),
+            clients=ClientPool(n_clients=1, connections_per_client=1))
+        generator.start()
+        sim.run()
+        assert system.steals > 0
+        # Stolen work really runs on other cores.
+        busy_workers = sum(1 for w in system.workers if w.completed > 0)
+        assert busy_workers >= 2
+
+
+class TestStealingHelps:
+    def test_beats_plain_rss_under_moderate_dispersion(self):
+        """§2.1: 'This design results in improved tail latency for
+        workloads with limited dispersion.'"""
+        def rss_factory(sim, rngs, metrics):
+            return RssSystem(sim, rngs, metrics,
+                             config=RssSystemConfig(workers=4))
+
+        load = 450e3  # ~70% utilization of 4 workers at 5 us + overheads
+        dist = Exponential(us(5.0))
+        stealing = run_point(_factory(WorkStealingConfig(workers=4)),
+                             load, dist, FAST)
+        plain = run_point(rss_factory, load, dist, FAST)
+        assert stealing.latency.p99_ns < plain.latency.p99_ns
+
+    def test_stealing_costs_are_charged(self):
+        """Each steal burns CPU: at equal load the stealing system does
+        strictly more total work than its completions require."""
+        sim = Simulator()
+        rngs = RngRegistry(5)
+        metrics = MetricsCollector(sim)
+        system = WorkStealingSystem(
+            sim, rngs, metrics,
+            config=WorkStealingConfig(workers=4, steal_cost_ns=600.0))
+        system.start()
+        generator = OpenLoopLoadGenerator(
+            sim, system.ingress, PoissonArrivals(300e3), rngs, metrics,
+            horizon_ns=ms(2.0), distribution=Fixed(us(5.0)),
+            clients=ClientPool(n_clients=1, connections_per_client=2))
+        generator.start()
+        sim.run()
+        if system.steals:
+            total_busy = sum(w.thread.busy_ns for w in system.workers)
+            total_service = sum(w.service_ns for w in system.workers)
+            assert total_busy > total_service

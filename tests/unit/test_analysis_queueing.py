@@ -1,0 +1,114 @@
+"""Unit tests for the closed-form queueing results."""
+
+import pytest
+
+from repro.analysis.queueing import (
+    erlang_c,
+    mg1_mean_sojourn_ns,
+    mm1_mean_sojourn_ns,
+    mm1_sojourn_percentile_ns,
+    mmc_mean_sojourn_ns,
+    utilization,
+)
+from repro.errors import ExperimentError
+from repro.units import us
+
+
+class TestUtilization:
+    def test_basic(self):
+        # 500k RPS of 1 us work = 0.5 Erlang.
+        assert utilization(500e3, us(1.0)) == pytest.approx(0.5)
+
+    def test_per_server(self):
+        assert utilization(1e6, us(2.0), servers=4) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            utilization(-1.0, 100.0)
+        with pytest.raises(ExperimentError):
+            utilization(1.0, 100.0, servers=0)
+
+
+class TestMm1:
+    def test_mean_sojourn_formula(self):
+        # rho = 0.5: E[T] = E[S]/(1-rho) = 2 E[S].
+        assert mm1_mean_sojourn_ns(500e3, us(1.0)) == \
+            pytest.approx(us(2.0))
+
+    def test_blows_up_near_saturation(self):
+        nearly = mm1_mean_sojourn_ns(990e3, us(1.0))
+        assert nearly == pytest.approx(us(100.0), rel=0.01)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ExperimentError):
+            mm1_mean_sojourn_ns(1.1e6, us(1.0))
+
+    def test_percentile_exponential(self):
+        # p50 of an exponential = mean * ln 2.
+        mean = mm1_mean_sojourn_ns(500e3, us(1.0))
+        p50 = mm1_sojourn_percentile_ns(500e3, us(1.0), 50.0)
+        assert p50 == pytest.approx(mean * 0.6931, rel=1e-3)
+
+    def test_percentile_range(self):
+        with pytest.raises(ExperimentError):
+            mm1_sojourn_percentile_ns(1e3, us(1.0), 100.0)
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # For c=1, C(1, a) = a.
+        assert erlang_c(1, 0.7) == pytest.approx(0.7)
+
+    def test_two_servers_known_value(self):
+        # c=2, a=1: B=0.2, C = 0.2/(1 - 0.5*0.8) = 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_probability_bounds(self):
+        for servers, load in ((2, 1.5), (8, 6.0), (16, 12.0)):
+            value = erlang_c(servers, load)
+            assert 0.0 < value < 1.0
+
+    def test_more_servers_less_queueing(self):
+        # Same per-server utilization; pooling helps.
+        assert erlang_c(8, 4.0) < erlang_c(2, 1.0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ExperimentError):
+            erlang_c(2, 2.0)
+
+
+class TestMmc:
+    def test_c1_reduces_to_mm1(self):
+        assert mmc_mean_sojourn_ns(500e3, us(1.0), servers=1) == \
+            pytest.approx(mm1_mean_sojourn_ns(500e3, us(1.0)))
+
+    def test_pooling_beats_partitioning(self):
+        """An M/M/4 at rate λ beats four M/M/1s at λ/4 — the §2.2-1
+        argument for centralized queues, in closed form."""
+        pooled = mmc_mean_sojourn_ns(2e6, us(1.0), servers=4)
+        partitioned = mm1_mean_sojourn_ns(500e3, us(1.0))
+        assert pooled < partitioned
+
+
+class TestMg1:
+    def test_scv_zero_is_md1(self):
+        # M/D/1 at rho=0.5: wait = rho*E[S]/(2*(1-rho)) = E[S]/2.
+        assert mg1_mean_sojourn_ns(500e3, us(1.0), scv=0.0) == \
+            pytest.approx(us(1.5))
+
+    def test_scv_one_is_mm1(self):
+        assert mg1_mean_sojourn_ns(500e3, us(1.0), scv=1.0) == \
+            pytest.approx(mm1_mean_sojourn_ns(500e3, us(1.0)))
+
+    def test_dispersion_penalty_linear_in_scv(self):
+        """The §2.2-2 cost of variability: the queueing term scales
+        with (1 + SCV)."""
+        base = mg1_mean_sojourn_ns(500e3, us(1.0), scv=0.0)
+        disp = mg1_mean_sojourn_ns(500e3, us(1.0), scv=19.0)
+        wait_base = base - us(1.0)
+        wait_disp = disp - us(1.0)
+        assert wait_disp == pytest.approx(20.0 * wait_base, rel=1e-6)
+
+    def test_negative_scv_rejected(self):
+        with pytest.raises(ExperimentError):
+            mg1_mean_sojourn_ns(1e3, us(1.0), scv=-1.0)

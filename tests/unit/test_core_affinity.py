@@ -1,0 +1,127 @@
+"""Unit tests for cache-affinity scheduling (§3.1)."""
+
+import pytest
+
+from repro.core.policy import CacheAffinityPolicy
+from repro.core.queuing import OutstandingTracker
+from repro.errors import ConfigError
+from repro.runtime.context import ContextCosts
+from repro.runtime.request import Request
+
+
+class TestWarmRestoreCosts:
+    def test_warm_restore_discounted(self):
+        costs = ContextCosts(restore_ns=400.0, warm_restore_factor=0.4)
+        assert costs.restore_cost_ns(warm=True) == pytest.approx(160.0)
+        assert costs.restore_cost_ns(warm=False) == 400.0
+
+    def test_factor_validated(self):
+        with pytest.raises(ConfigError):
+            ContextCosts(warm_restore_factor=1.5)
+        with pytest.raises(ConfigError):
+            ContextCosts(warm_restore_factor=-0.1)
+
+
+class TestCacheAffinityPolicy:
+    def test_prefers_previous_worker(self):
+        policy = CacheAffinityPolicy()
+        tracker = OutstandingTracker(n_workers=4, target=2)
+        request = Request(service_ns=100.0)
+        request.worker_id = 2
+        assert policy.select_worker(tracker, request) == 2
+        assert policy.affinity_hits == 1
+
+    def test_busy_previous_worker_not_preferred(self):
+        """Affinity never queues behind in-progress work: a previous
+        worker that is merely *below target* but busy is skipped."""
+        policy = CacheAffinityPolicy()
+        tracker = OutstandingTracker(n_workers=3, target=3)
+        tracker.credit(2)  # busy but has capacity
+        request = Request(service_ns=100.0)
+        request.worker_id = 2
+        selected = policy.select_worker(tracker, request)
+        assert selected != 2
+        assert policy.fallbacks == 1
+
+    def test_falls_back_when_previous_full(self):
+        policy = CacheAffinityPolicy()
+        tracker = OutstandingTracker(n_workers=3, target=1)
+        tracker.credit(2)
+        request = Request(service_ns=100.0)
+        request.worker_id = 2
+        selected = policy.select_worker(tracker, request)
+        assert selected is not None and selected != 2
+        assert policy.fallbacks == 1
+
+    def test_fresh_request_uses_least_outstanding(self):
+        policy = CacheAffinityPolicy()
+        tracker = OutstandingTracker(n_workers=3, target=2)
+        tracker.credit(0)
+        request = Request(service_ns=100.0)  # never ran anywhere
+        assert policy.select_worker(tracker, request) in (1, 2)
+
+    def test_none_request_supported(self):
+        policy = CacheAffinityPolicy()
+        tracker = OutstandingTracker(n_workers=2, target=1)
+        assert policy.select_worker(tracker, None) is not None
+
+    def test_all_full_returns_none(self):
+        policy = CacheAffinityPolicy()
+        tracker = OutstandingTracker(n_workers=1, target=1)
+        tracker.credit(0)
+        request = Request(service_ns=100.0)
+        request.worker_id = 0
+        assert policy.select_worker(tracker, request) is None
+
+
+class TestWarmRestoreInWorker:
+    def test_same_worker_restore_is_warm(self, sim):
+        from repro.config import PreemptionConfig
+        from repro.core.preemption import PreemptionDriver
+        from repro.hw.cpu import CpuCore
+        from repro.runtime.worker import ExecutionOutcome, WorkerCore
+        from repro.units import us
+
+        thread = CpuCore(sim, "c0", 2.3).threads[0]
+        preemption = PreemptionDriver(
+            thread, PreemptionConfig(time_slice_ns=us(10.0)))
+        worker = WorkerCore(sim, worker_id=0, thread=thread,
+                            preemption=preemption)
+        request = Request(service_ns=us(15.0))
+
+        def loop():
+            outcome = yield from worker.run_request(request)
+            assert outcome is ExecutionOutcome.PREEMPTED
+            yield from worker.run_request(request)  # same worker: warm
+
+        process = sim.process(loop())
+        worker.attach_process(process)
+        sim.run()
+        assert worker.warm_restores == 1
+
+    def test_cross_worker_restore_is_cold(self, sim):
+        from repro.config import PreemptionConfig
+        from repro.core.preemption import PreemptionDriver
+        from repro.hw.cpu import CpuCore
+        from repro.runtime.worker import WorkerCore
+        from repro.units import us
+
+        threads = [CpuCore(sim, f"c{i}", 2.3).threads[0] for i in range(2)]
+        workers = []
+        for i, thread in enumerate(threads):
+            preemption = PreemptionDriver(
+                thread, PreemptionConfig(time_slice_ns=us(10.0)))
+            workers.append(WorkerCore(sim, worker_id=i, thread=thread,
+                                      preemption=preemption))
+        request = Request(service_ns=us(15.0))
+
+        def loop():
+            yield from workers[0].run_request(request)   # preempted
+            yield from workers[1].run_request(request)   # migrated: cold
+
+        process = sim.process(loop())
+        for worker in workers:
+            worker.attach_process(process)
+        sim.run()
+        assert workers[0].warm_restores == 0
+        assert workers[1].warm_restores == 0

@@ -1,0 +1,206 @@
+"""Unit tests for the three-ARM-core dispatcher pipeline (§3.4.1)."""
+
+import pytest
+
+from repro.config import ArmCosts, StingrayConfig
+from repro.core.nic_dispatcher import NicDispatcherPipeline
+from repro.core.queuing import OutstandingTracker
+from repro.hw.cpu import CpuCore
+from repro.hw.smartnic import FabricDomain, StingraySmartNic
+from repro.net.addressing import IpAddress
+from repro.net.packet import NotifyPayload, RequestPayload, make_udp_packet
+from repro.runtime.request import Request
+from repro.units import us
+
+
+class PipelineHarness:
+    """A dispatcher pipeline wired to scripted fake workers."""
+
+    def __init__(self, sim, n_workers=2, target=1, costs=None):
+        self.sim = sim
+        self.costs = costs if costs is not None else ArmCosts()
+        config = StingrayConfig(costs=self.costs)
+        self.nic = StingraySmartNic(sim, config)
+        arm_threads = [CpuCore(sim, f"arm{i}", 3.0, smt=1).threads[0]
+                       for i in range(3)]
+        ip = IpAddress.parse("10.0.0.10")
+        self.tx_port = self.nic.create_port(FabricDomain.ARM, "tx", ip=ip)
+        self.rx_port = self.nic.create_port(FabricDomain.ARM, "rx", ip=ip)
+        self.worker_ports = [
+            self.nic.create_port(FabricDomain.HOST, f"vf{i}", ip=ip)
+            for i in range(n_workers)]
+        self.tracker = OutstandingTracker(n_workers=n_workers, target=target)
+        self.pipeline = NicDispatcherPipeline(
+            sim, threads=arm_threads, costs=self.costs, tracker=self.tracker,
+            tx_port=self.tx_port, rx_port=self.rx_port,
+            worker_macs={i: p.mac for i, p in enumerate(self.worker_ports)})
+        self.received = []  # (time, worker_id, request)
+
+    def start(self, auto_ack=True, work_ns=0.0):
+        self.pipeline.start()
+        for wid, port in enumerate(self.worker_ports):
+            self.sim.process(self._fake_worker(wid, port, auto_ack, work_ns))
+
+    def _fake_worker(self, wid, port, auto_ack, work_ns):
+        while True:
+            packet = yield port.poll()
+            payload = packet.payload
+            assert isinstance(payload, RequestPayload)
+            self.received.append((self.sim.now, wid, payload.request))
+            if work_ns > 0:
+                yield self.sim.timeout(work_ns)
+            if auto_ack:
+                self._send_notify(wid, port, payload.request, "finished")
+
+    def _send_notify(self, wid, port, request, outcome):
+        packet = make_udp_packet(
+            src_mac=port.mac, dst_mac=self.rx_port.mac,
+            src_ip=port.ip, dst_ip=self.rx_port.ip,
+            src_port=9000, dst_port=9000,
+            payload=NotifyPayload(request=request, worker_id=wid,
+                                  outcome=outcome))
+        port.transmit(packet)
+
+
+class TestDispatchPath:
+    def test_request_reaches_a_worker(self, sim):
+        harness = PipelineHarness(sim)
+        harness.start()
+        request = Request(service_ns=us(1.0))
+        harness.pipeline.submit(request)
+        sim.run(until=us(50.0))
+        assert len(harness.received) == 1
+        assert harness.received[0][2] is request
+        assert "dispatched" in request.stamps
+
+    def test_dispatch_latency_includes_wire(self, sim):
+        """The request crosses the 2.56 µs ARM->host path."""
+        harness = PipelineHarness(sim)
+        harness.start(auto_ack=False)
+        harness.pipeline.submit(Request(service_ns=0.0))
+        sim.run(until=us(50.0))
+        arrive = harness.received[0][0]
+        assert arrive >= 2560.0
+
+    def test_round_robin_across_workers(self, sim):
+        harness = PipelineHarness(sim, n_workers=2, target=4)
+        harness.start(auto_ack=False)
+        for _ in range(4):
+            harness.pipeline.submit(Request(service_ns=0.0))
+        sim.run(until=us(100.0))
+        workers = sorted(wid for _t, wid, _r in harness.received)
+        assert workers == [0, 0, 1, 1]
+
+    def test_outstanding_target_respected(self, sim):
+        """With target=1 and no acks, only one request per worker goes
+        out; the rest wait in the central queue."""
+        harness = PipelineHarness(sim, n_workers=2, target=1)
+        harness.start(auto_ack=False)
+        for _ in range(6):
+            harness.pipeline.submit(Request(service_ns=0.0))
+        sim.run(until=us(100.0))
+        assert len(harness.received) == 2
+        assert len(harness.pipeline.task_queue) == 4
+        assert harness.tracker.total == 2
+
+    def test_completion_releases_credit(self, sim):
+        harness = PipelineHarness(sim, n_workers=1, target=1)
+        harness.start(auto_ack=True)
+        for _ in range(3):
+            harness.pipeline.submit(Request(service_ns=0.0))
+        sim.run(until=us(200.0))
+        assert len(harness.received) == 3
+        assert harness.pipeline.completions == 3
+        assert harness.tracker.total == 0
+
+
+class TestPreemptionReturns:
+    def test_preempted_request_requeued_and_redispatched(self, sim):
+        harness = PipelineHarness(sim, n_workers=1, target=1)
+        harness.pipeline.start()
+        request = Request(service_ns=us(100.0))
+        deliveries = []
+
+        def worker():
+            port = harness.worker_ports[0]
+            packet = yield port.poll()
+            deliveries.append(sim.now)
+            # Pretend we ran a slice, then bounce it back preempted.
+            yield sim.timeout(us(10.0))
+            packet.payload.request.preemptions += 1
+            harness._send_notify(0, port, packet.payload.request, "preempted")
+            packet = yield port.poll()
+            deliveries.append(sim.now)
+
+        sim.process(worker())
+        harness.pipeline.submit(request)
+        sim.run(until=us(200.0))
+        assert len(deliveries) == 2
+        assert harness.pipeline.preemption_returns == 1
+
+    def test_queue_drop_hook(self, sim):
+        dropped = []
+        harness = PipelineHarness(sim, n_workers=1, target=1)
+        harness.pipeline.task_queue.capacity = 1
+        harness.pipeline.on_drop = dropped.append
+        harness.start(auto_ack=False)
+        for _ in range(5):
+            harness.pipeline.submit(Request(service_ns=0.0))
+        sim.run(until=us(100.0))
+        assert len(dropped) >= 1
+
+
+class TestTxBatching:
+    def test_batching_delays_singleton_dispatches(self, sim):
+        """A lone packet waits out the DPDK drain timeout (§3.4.5's
+        round-trip stretching at low outstanding counts)."""
+        costs = ArmCosts(tx_batch_size=8, tx_flush_timeout_ns=us(6.0))
+        harness = PipelineHarness(sim, costs=costs)
+        harness.start(auto_ack=False)
+        harness.pipeline.submit(Request(service_ns=0.0))
+        sim.run(until=us(50.0))
+        arrive = harness.received[0][0]
+        assert arrive >= us(6.0)  # waited for the flush timeout
+
+    def test_no_batching_sends_immediately(self, sim):
+        costs = ArmCosts(tx_batch_size=1, tx_flush_timeout_ns=0.0)
+        harness = PipelineHarness(sim, costs=costs)
+        harness.start(auto_ack=False)
+        harness.pipeline.submit(Request(service_ns=0.0))
+        sim.run(until=us(50.0))
+        arrive = harness.received[0][0]
+        assert arrive < us(5.0)
+
+    def test_full_batch_flushes_without_timeout(self, sim):
+        costs = ArmCosts(tx_batch_size=2, tx_flush_timeout_ns=us(50.0))
+        harness = PipelineHarness(sim, n_workers=2, target=2, costs=costs)
+        harness.start(auto_ack=False)
+        harness.pipeline.submit(Request(service_ns=0.0))
+        harness.pipeline.submit(Request(service_ns=0.0))
+        sim.run(until=us(200.0))
+        assert len(harness.received) == 2
+        # Both arrived well before the 50 us drain timer.
+        assert all(t < us(20.0) for t, _w, _r in harness.received)
+
+
+class TestValidation:
+    def test_needs_exactly_three_threads(self, sim):
+        from repro.errors import SchedulingError
+        threads = [CpuCore(sim, f"a{i}", 3.0, smt=1).threads[0]
+                   for i in range(2)]
+        nic = StingraySmartNic(sim, StingrayConfig())
+        ip = IpAddress.parse("10.0.0.10")
+        tx = nic.create_port(FabricDomain.ARM, "tx", ip=ip)
+        rx = nic.create_port(FabricDomain.ARM, "rx", ip=ip)
+        with pytest.raises(SchedulingError):
+            NicDispatcherPipeline(
+                sim, threads=threads, costs=ArmCosts(),
+                tracker=OutstandingTracker(1, 1), tx_port=tx, rx_port=rx,
+                worker_macs={})
+
+    def test_double_start_rejected(self, sim):
+        from repro.errors import SchedulingError
+        harness = PipelineHarness(sim)
+        harness.pipeline.start()
+        with pytest.raises(SchedulingError):
+            harness.pipeline.start()

@@ -1,0 +1,137 @@
+"""Unit tests for the NIC-driven preemption scanner (§3.2-4)."""
+
+import pytest
+
+from repro.core.feedback import CoreStatusBoard
+from repro.core.nic_scan import NicPreemptionScanner
+from repro.errors import ConfigError
+from repro.hw.cpu import CpuCore
+from repro.runtime.worker import WorkerCore
+from repro.units import us
+
+
+@pytest.fixture
+def workers(sim):
+    return [WorkerCore(sim, worker_id=i,
+                       thread=CpuCore(sim, f"c{i}", 2.3).threads[0])
+            for i in range(2)]
+
+
+def _scanner(sim, workers, slice_us=10.0, delivery_ns=0.0, one_way_ns=0.0):
+    board = CoreStatusBoard(sim, n_workers=len(workers))
+    return NicPreemptionScanner(
+        sim, board, workers, time_slice_ns=us(slice_us),
+        delivery_latency_ns=delivery_ns, scan_period_ns=us(1.0),
+        one_way_latency_ns=one_way_ns)
+
+
+class TestBoardMaintenance:
+    def test_dispatch_marks_busy_with_estimated_start(self, sim, workers):
+        scanner = _scanner(sim, workers, one_way_ns=2560.0)
+        scanner.note_dispatch(0)
+        status = scanner.board.get(0)
+        assert status.busy
+        assert status.outstanding == 1
+        assert status.running_since == pytest.approx(2560.0)
+
+    def test_second_dispatch_keeps_running_since(self, sim, workers):
+        scanner = _scanner(sim, workers, one_way_ns=100.0)
+        scanner.note_dispatch(0)
+        first_start = scanner.board.get(0).running_since
+        sim.timeout(us(3.0))
+        sim.run()
+        scanner.note_dispatch(0)
+        assert scanner.board.get(0).outstanding == 2
+        assert scanner.board.get(0).running_since == first_start
+
+    def test_final_notify_marks_idle(self, sim, workers):
+        scanner = _scanner(sim, workers)
+        scanner.note_dispatch(0)
+        scanner.note_notify(0)
+        status = scanner.board.get(0)
+        assert not status.busy
+        assert status.outstanding == 0
+        assert status.running_since is None
+
+    def test_notify_with_stash_restarts_clock(self, sim, workers):
+        scanner = _scanner(sim, workers, one_way_ns=500.0)
+        scanner.note_dispatch(0)
+        scanner.note_dispatch(0)
+        sim.timeout(us(20.0))
+        sim.run()
+        scanner.note_notify(0)
+        status = scanner.board.get(0)
+        assert status.busy
+        assert status.outstanding == 1
+        # Started ~one wire ago, when the worker sent the notify.
+        assert status.running_since == pytest.approx(sim.now - 500.0)
+
+
+class TestScanning:
+    def test_interrupts_overrunning_worker(self, sim, workers):
+        scanner = _scanner(sim, workers, slice_us=10.0)
+        scanner.start()
+        preempted = []
+
+        def victim():
+            from repro.errors import ProcessInterrupt
+            try:
+                yield from workers[0].run_request(
+                    __import__("repro.runtime.request",
+                               fromlist=["Request"]).Request(us(100.0)))
+            except ProcessInterrupt:  # pragma: no cover - handled inside
+                pass
+            preempted.append(sim.now)
+
+        process = sim.process(victim())
+        workers[0].attach_process(process)
+        scanner.note_dispatch(0)
+        sim.run(until=us(50.0))
+        assert scanner.interrupts_sent == 1
+        assert workers[0].preempted == 1
+        # Interrupted within a scan period of the slice expiry.
+        assert preempted[0] == pytest.approx(us(10.0), abs=us(2.0))
+
+    def test_one_interrupt_per_episode(self, sim, workers):
+        """The scanner must not machine-gun the same execution."""
+        scanner = _scanner(sim, workers, slice_us=5.0)
+        scanner.start()
+        scanner.note_dispatch(0)  # busy forever, never notifies
+        sim.run(until=us(50.0))
+        assert scanner.interrupts_sent == 1
+        # A spurious interrupt was absorbed (nothing is running).
+        assert workers[0].spurious_interrupts == 1
+
+    def test_idle_workers_never_interrupted(self, sim, workers):
+        scanner = _scanner(sim, workers, slice_us=5.0)
+        scanner.start()
+        sim.run(until=us(50.0))
+        assert scanner.interrupts_sent == 0
+
+    def test_delivery_latency_applied(self, sim, workers):
+        scanner = _scanner(sim, workers, slice_us=5.0, delivery_ns=2560.0)
+        scanner.start()
+        scanner.note_dispatch(0)
+        sim.run(until=us(20.0))
+        assert scanner.interrupts_sent == 1
+        # The worker felt it 2.56 us after the scan fired.
+        assert workers[0].spurious_interrupts == 1
+
+
+class TestValidation:
+    def test_bad_parameters(self, sim, workers):
+        board = CoreStatusBoard(sim, n_workers=2)
+        with pytest.raises(ConfigError):
+            NicPreemptionScanner(sim, board, workers, time_slice_ns=0.0)
+        with pytest.raises(ConfigError):
+            NicPreemptionScanner(sim, board, workers, time_slice_ns=1.0,
+                                 scan_period_ns=0.0)
+        with pytest.raises(ConfigError):
+            NicPreemptionScanner(sim, board, workers, time_slice_ns=1.0,
+                                 delivery_latency_ns=-1.0)
+
+    def test_double_start_rejected(self, sim, workers):
+        scanner = _scanner(sim, workers)
+        scanner.start()
+        with pytest.raises(ConfigError):
+            scanner.start()

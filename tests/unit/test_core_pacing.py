@@ -1,0 +1,125 @@
+"""Unit tests for just-in-time pacing (§5.2)."""
+
+import pytest
+
+from repro.core.pacing import BacklogAdvertiser, JustInTimePacer
+from repro.errors import ConfigError
+from repro.units import us
+
+
+class TestAdvertiser:
+    def test_publishes_periodically(self, sim):
+        backlog = {"value": 3}
+        advertiser = BacklogAdvertiser(sim, lambda: backlog["value"],
+                                       wire_latency_ns=0.0,
+                                       period_ns=us(2.0))
+        advertiser.start()
+        sim.run(until=us(9.0))
+        assert advertiser.published == 4
+        assert advertiser.advertised == 3
+
+    def test_wire_latency_delays_visibility(self, sim):
+        backlog = {"value": 7}
+        advertiser = BacklogAdvertiser(sim, lambda: backlog["value"],
+                                       wire_latency_ns=us(1.0),
+                                       period_ns=us(2.0))
+        advertiser.start()
+        sim.run(until=us(2.5))   # sampled at 2us, lands at 3us
+        assert advertiser.advertised == 0
+        sim.run(until=us(3.5))
+        assert advertiser.advertised == 7
+
+    def test_update_signal_fires(self, sim):
+        advertiser = BacklogAdvertiser(sim, lambda: 1, wire_latency_ns=0.0,
+                                       period_ns=us(1.0))
+        woken = []
+
+        def waiter():
+            yield advertiser.updated.wait()
+            woken.append(sim.now)
+
+        sim.process(waiter())
+        advertiser.start()
+        sim.run(until=us(3.0))
+        assert woken == [pytest.approx(us(1.0))]
+
+    def test_validation(self, sim):
+        with pytest.raises(ConfigError):
+            BacklogAdvertiser(sim, lambda: 0, wire_latency_ns=-1.0)
+        with pytest.raises(ConfigError):
+            BacklogAdvertiser(sim, lambda: 0, period_ns=0.0)
+        advertiser = BacklogAdvertiser(sim, lambda: 0)
+        advertiser.start()
+        with pytest.raises(ConfigError):
+            advertiser.start()
+
+
+class TestPacer:
+    def _setup(self, sim, backlog, target, window=None):
+        state = {"backlog": backlog}
+        advertiser = BacklogAdvertiser(sim, lambda: state["backlog"],
+                                       wire_latency_ns=0.0,
+                                       period_ns=us(1.0))
+        pacer = JustInTimePacer(advertiser, target_backlog=target,
+                                window=window)
+        return state, advertiser, pacer
+
+    def test_passes_through_under_target(self, sim):
+        _state, _advertiser, pacer = self._setup(sim, backlog=0, target=4)
+        sent = []
+        pacer.submit(lambda: sent.append(sim.now))
+        assert sent == [0.0]
+        assert pacer.passed_through == 1
+        assert pacer.in_flight == 1
+
+    def test_holds_above_target(self, sim):
+        state, advertiser, pacer = self._setup(sim, backlog=10, target=4)
+        advertiser.start()
+        sim.run(until=us(1.5))  # advertisement of 10 lands
+        sent = []
+        pacer.submit(lambda: sent.append(sim.now))
+        assert sent == []
+        assert pacer.queued == 1
+        # Server drains: the next advertisement shows credit.
+        state["backlog"] = 0
+        sim.run(until=us(4.0))
+        assert len(sent) == 1
+        assert pacer.held == 1
+
+    def test_window_limits_in_flight(self, sim):
+        _state, _advertiser, pacer = self._setup(sim, backlog=0, target=100,
+                                                 window=2)
+        sent = []
+        for _ in range(5):
+            pacer.submit(lambda: sent.append(1))
+        assert len(sent) == 2
+        assert pacer.queued == 3
+        pacer.acknowledge()
+        # Credit alone doesn't deliver queued sends until an update
+        # fires; simulate one.
+        pacer.advertiser.updated.fire()
+        sim.run(until=us(1.0))
+        assert len(sent) == 3
+
+    def test_fifo_order_preserved(self, sim):
+        state, advertiser, pacer = self._setup(sim, backlog=10, target=1)
+        advertiser.start()
+        sim.run(until=us(1.5))
+        sent = []
+        for tag in ("a", "b", "c"):
+            pacer.submit(lambda t=tag: sent.append(t))
+        state["backlog"] = 0
+        sim.run(until=us(5.0))
+        assert sent == ["a", "b", "c"]
+
+    def test_acknowledge_floor(self, sim):
+        _state, _advertiser, pacer = self._setup(sim, backlog=0, target=2)
+        pacer.acknowledge()  # no underflow
+        assert pacer.in_flight == 0
+
+    def test_validation(self, sim):
+        _state, advertiser, _pacer = self._setup(sim, backlog=0, target=1)
+        with pytest.raises(ConfigError):
+            JustInTimePacer(advertiser, target_backlog=0)
+        with pytest.raises(ConfigError):
+            JustInTimePacer(advertiser, target_backlog=1, window=0)

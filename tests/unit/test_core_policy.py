@@ -1,0 +1,43 @@
+"""Unit tests for scheduling policies."""
+
+from repro.core.policy import CentralizedFifoPolicy, StrictRoundRobinPolicy
+from repro.core.queuing import OutstandingTracker
+
+
+class TestCentralizedFifo:
+    def test_delegates_to_tracker(self):
+        policy = CentralizedFifoPolicy()
+        tracker = OutstandingTracker(n_workers=2, target=1)
+        tracker.credit(0)
+        assert policy.select_worker(tracker) == 1
+
+    def test_none_when_saturated(self):
+        policy = CentralizedFifoPolicy()
+        tracker = OutstandingTracker(n_workers=1, target=1)
+        tracker.credit(0)
+        assert policy.select_worker(tracker) is None
+
+
+class TestStrictRoundRobin:
+    def test_rotates_regardless_of_load(self):
+        policy = StrictRoundRobinPolicy()
+        tracker = OutstandingTracker(n_workers=3, target=5)
+        # Load worker 1 heavily; strict RR still cycles through it.
+        tracker.credit(1)
+        tracker.credit(1)
+        picks = [policy.select_worker(tracker) for _ in range(3)]
+        assert picks == [0, 1, 2]
+
+    def test_skips_full_workers(self):
+        policy = StrictRoundRobinPolicy()
+        tracker = OutstandingTracker(n_workers=3, target=1)
+        tracker.credit(1)
+        assert policy.select_worker(tracker) == 0
+        assert policy.select_worker(tracker) == 2
+
+    def test_none_when_all_full(self):
+        policy = StrictRoundRobinPolicy()
+        tracker = OutstandingTracker(n_workers=2, target=1)
+        tracker.credit(0)
+        tracker.credit(1)
+        assert policy.select_worker(tracker) is None

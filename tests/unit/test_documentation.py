@@ -1,0 +1,90 @@
+"""Documentation gates: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [m.__name__ for m in MODULES if not m.__doc__]
+        assert undocumented == []
+
+    def test_every_public_class_documented(self):
+        undocumented = []
+        for module in MODULES:
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isclass(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue  # re-export
+                if not obj.__doc__:
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert undocumented == []
+
+    def test_every_public_function_documented(self):
+        undocumented = []
+        for module in MODULES:
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isfunction(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue
+                if not obj.__doc__:
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert undocumented == []
+
+    @staticmethod
+    def _documented_in_a_base(cls, name) -> bool:
+        """An override inherits its interface's docstring."""
+        for base in cls.__mro__[1:]:
+            member = base.__dict__.get(name)
+            if member is None:
+                continue
+            target = member.fget if isinstance(member, property) else member
+            if getattr(target, "__doc__", None):
+                return True
+        return False
+
+    def test_public_methods_documented(self):
+        """Public methods on public classes need docstrings too.
+
+        Exempt: dataclass-generated members, dunder methods, and
+        overrides of a documented interface method (which inherit its
+        docstring by convention).
+        """
+        undocumented = []
+        for module in MODULES:
+            for cls_name, cls in vars(module).items():
+                if cls_name.startswith("_") or not inspect.isclass(cls):
+                    continue
+                if cls.__module__ != module.__name__:
+                    continue
+                for name, member in vars(cls).items():
+                    if name.startswith("_"):
+                        continue
+                    if not (inspect.isfunction(member)
+                            or isinstance(member, property)):
+                        continue
+                    target = member.fget if isinstance(member, property) \
+                        else member
+                    if target is None or target.__doc__:
+                        continue
+                    if self._documented_in_a_base(cls, name):
+                        continue
+                    undocumented.append(
+                        f"{module.__name__}.{cls_name}.{name}")
+        assert undocumented == []

@@ -1,0 +1,44 @@
+"""Unit tests for the figure-definition module (fast aspects only)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    NO_PREEMPTION,
+    SLICE_10US,
+    FigureResult,
+    FigureSeries,
+)
+from repro.units import us
+
+
+class TestConstants:
+    def test_no_preemption_disabled(self):
+        assert not NO_PREEMPTION.enabled
+
+    def test_slice_matches_paper(self):
+        """Figure 2 uses a 10 µs Dune-timer slice (§4.1)."""
+        assert SLICE_10US.time_slice_ns == us(10.0)
+        assert SLICE_10US.mechanism == "dune"
+
+
+class TestRegistry:
+    def test_all_five_figures_present(self):
+        assert set(ALL_FIGURES) == {"fig2", "fig3", "fig4", "fig5", "fig6"}
+
+    def test_registry_entries_callable(self):
+        for fn in ALL_FIGURES.values():
+            assert callable(fn)
+
+
+class TestDataClasses:
+    def test_series_defaults(self):
+        series = FigureSeries(label="x", xs=[1.0], ys=[2.0])
+        assert "throughput" in series.x_label
+        assert "p99" in series.y_label
+
+    def test_result_defaults(self):
+        result = FigureResult(figure_id="f", title="t",
+                              series=[FigureSeries("a", [1.0], [2.0])])
+        assert result.notes == ""
+        assert result.sweeps == []

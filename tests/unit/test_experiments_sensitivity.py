@@ -1,0 +1,91 @@
+"""Unit + integration tests for the sensitivity-sweep utility."""
+
+import pytest
+
+from repro.config import PreemptionConfig
+from repro.errors import ExperimentError
+from repro.experiments.harness import RunConfig
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    SensitivityResult,
+    sweep_parameter,
+)
+from repro.metrics.summary import RunMetrics, ThroughputSummary
+from repro.systems.rpcvalet import RpcValetConfig, RpcValetSystem
+from repro.units import ms, us
+from repro.workload.distributions import Fixed
+
+FAST = RunConfig(seed=5, horizon_ns=ms(2.0), warmup_ns=ms(0.4))
+
+
+def _fake_metrics(p99_ns, achieved=1e5):
+    from repro.metrics.reservoir import LatencyReservoir
+    from repro.metrics.summary import LatencySummary
+    reservoir = LatencyReservoir()
+    reservoir.extend([p99_ns] * 10)
+    return RunMetrics(
+        latency=LatencySummary.from_reservoir(reservoir),
+        throughput=ThroughputSummary(
+            offered_rps=2e5, achieved_rps=achieved, generated=10,
+            completed=10, dropped=0, window_ns=ms(1.0)),
+        preemptions=0, mean_slowdown=1.0, worker_wait_fraction=0.0)
+
+
+class TestResultHelpers:
+    def _result(self, p99s):
+        return SensitivityResult(
+            parameter="x",
+            points=[SensitivityPoint(value=i, metrics=_fake_metrics(p))
+                    for i, p in enumerate(p99s)])
+
+    def test_series_extraction(self):
+        result = self._result([1000.0, 2000.0])
+        assert result.values() == [0, 1]
+        assert result.series_p99_us() == [1.0, 2.0]
+
+    def test_best_value(self):
+        result = self._result([3000.0, 1000.0, 2000.0])
+        assert result.best_value() == 1
+        assert result.best_value(lower_is_better=False) == 0
+
+    def test_monotone_detection(self):
+        rising = self._result([1000.0, 2000.0, 4000.0])
+        falling = self._result([4000.0, 2000.0, 1000.0])
+        bumpy = self._result([1000.0, 5000.0, 2000.0])
+        assert rising.monotone_p99(increasing=True)
+        assert falling.monotone_p99(increasing=False)
+        assert not bumpy.monotone_p99(increasing=True)
+        assert not bumpy.monotone_p99(increasing=False)
+
+    def test_point_properties_without_latency(self):
+        metrics = RunMetrics(
+            latency=None,
+            throughput=ThroughputSummary(1e5, 9e4, 1, 1, 0, ms(1.0)),
+            preemptions=0, mean_slowdown=float("nan"),
+            worker_wait_fraction=0.0)
+        point = SensitivityPoint(value="v", metrics=metrics)
+        assert point.p99_us != point.p99_us  # NaN
+        assert point.achieved_krps == 90.0
+
+
+class TestLiveSweep:
+    def test_worker_count_sweep(self):
+        """A real sweep: more workers, lower tail at fixed load."""
+        def factory_for(workers):
+            def make(sim, rngs, metrics):
+                return RpcValetSystem(
+                    sim, rngs, metrics,
+                    config=RpcValetConfig(workers=workers))
+            return make
+
+        result = sweep_parameter(
+            "workers", [1, 2, 4], factory_for,
+            rate_rps=300e3, distribution=Fixed(us(2.0)), config=FAST)
+        series = result.series_p99_us()
+        assert series[0] > series[1] > series[2]
+        assert result.best_value() == 4
+        assert result.monotone_p99(increasing=False)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ExperimentError):
+            sweep_parameter("x", [], lambda v: None, 1e5, Fixed(1.0))

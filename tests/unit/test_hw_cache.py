@@ -1,0 +1,70 @@
+"""Unit tests for the DDIO/cache-placement model (§5.2)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.cache import CacheHierarchy, CacheLevel, DdioModel
+
+
+class TestHierarchy:
+    def test_latency_ordering(self):
+        h = CacheHierarchy()
+        assert h.l1_ns < h.l2_ns < h.llc_ns < h.dram_ns < h.remote_llc_ns
+
+    def test_read_cost_single_line(self):
+        h = CacheHierarchy()
+        assert h.read_cost_ns(64, CacheLevel.LLC) == pytest.approx(h.llc_ns)
+
+    def test_read_cost_streams_later_lines(self):
+        h = CacheHierarchy()
+        one = h.read_cost_ns(64, CacheLevel.DRAM)
+        sixteen = h.read_cost_ns(1024, CacheLevel.DRAM)
+        # 16 lines: 1 full + 15 streamed — much cheaper than 16 fulls.
+        assert sixteen == pytest.approx(one + 15 * one * h.streaming_factor)
+        assert sixteen < 16 * one
+
+    def test_zero_size_is_free(self):
+        assert CacheHierarchy().read_cost_ns(0, CacheLevel.L1) == 0.0
+
+    def test_partial_line_rounds_up(self):
+        h = CacheHierarchy()
+        assert h.read_cost_ns(65, CacheLevel.L1) == \
+            h.read_cost_ns(128, CacheLevel.L1)
+
+
+class TestDdioPlacement:
+    def test_default_is_llc(self):
+        """Plain DDIO targets the LLC."""
+        ddio = DdioModel()
+        assert ddio.place(in_flight_at_core=0) is CacheLevel.LLC
+
+    def test_informed_nic_can_target_l1(self):
+        """§5.2: with at most one in-flight request per core, L1
+        placement is safe."""
+        ddio = DdioModel(placement=CacheLevel.L1, l1_capacity_requests=1)
+        assert ddio.place(in_flight_at_core=0) is CacheLevel.L1
+
+    def test_l1_overflow_spills_to_l2(self):
+        """Without the one-in-flight guarantee, L1 would be polluted —
+        the model spills instead."""
+        ddio = DdioModel(placement=CacheLevel.L1, l1_capacity_requests=1)
+        assert ddio.place(in_flight_at_core=1) is CacheLevel.L2
+        assert ddio.placements[CacheLevel.L2] == 1
+
+    def test_l1_beats_llc_beats_dram(self):
+        """The §5.2 benefit: L1 placement cuts the first-read cost."""
+        ddio = DdioModel()
+        l1 = ddio.read_cost_ns(1024, CacheLevel.L1)
+        llc = ddio.read_cost_ns(1024, CacheLevel.LLC)
+        dram = ddio.read_cost_ns(1024, CacheLevel.DRAM)
+        assert l1 < llc < dram
+
+    def test_remote_llc_is_worst_cache(self):
+        """§1: DDIO into the wrong socket's LLC hurts."""
+        ddio = DdioModel()
+        assert ddio.read_cost_ns(64, CacheLevel.REMOTE_LLC) > \
+            ddio.read_cost_ns(64, CacheLevel.DRAM)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            DdioModel(l1_capacity_requests=0)

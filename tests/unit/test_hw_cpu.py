@@ -1,0 +1,110 @@
+"""Unit tests for CPU topology and busy-time accounting."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.cpu import CpuCore, HostMachine, Socket
+
+
+class TestHardwareThread:
+    def test_execute_advances_time_and_busy(self, sim):
+        core = CpuCore(sim, "c0", clock_ghz=2.3)
+        thread = core.threads[0]
+
+        def work(sim):
+            yield thread.execute(100.0)
+            yield thread.execute(50.0)
+
+        sim.process(work(sim))
+        sim.run()
+        assert sim.now == 150.0
+        assert thread.busy_ns == 150.0
+
+    def test_execute_cycles_uses_clock(self, sim):
+        thread = CpuCore(sim, "c0", clock_ghz=2.0).threads[0]
+
+        def work(sim):
+            yield thread.execute_cycles(200)
+
+        sim.process(work(sim))
+        sim.run()
+        assert sim.now == 100.0  # 200 cycles at 2 GHz
+
+    def test_negative_cost_rejected(self, sim):
+        thread = CpuCore(sim, "c0", clock_ghz=2.0).threads[0]
+        with pytest.raises(HardwareError):
+            thread.execute(-1.0)
+
+    def test_utilization(self, sim):
+        thread = CpuCore(sim, "c0", clock_ghz=2.0).threads[0]
+        thread.busy_ns = 400.0
+        assert thread.utilization(1000.0) == 0.4
+        assert thread.utilization(0.0) == 0.0
+        # Clamped even if accounting overshoots.
+        assert thread.utilization(100.0) == 1.0
+
+    def test_pin_once(self, sim):
+        thread = CpuCore(sim, "c0", clock_ghz=2.0).threads[0]
+        thread.pin("worker")
+        assert thread.pinned_role == "worker"
+        with pytest.raises(HardwareError):
+            thread.pin("other")
+
+
+class TestTopology:
+    def test_socket_thread_count(self, sim):
+        socket = Socket(sim, 0, n_cores=4, clock_ghz=2.3, smt=2)
+        assert len(socket.threads) == 8
+
+    def test_machine_matches_paper_testbed(self, sim):
+        machine = HostMachine(sim, sockets=2, cores_per_socket=12, smt=2)
+        assert len(machine.cores) == 24
+        assert len(machine.threads) == 48
+
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(HardwareError):
+            CpuCore(sim, "x", clock_ghz=0.0)
+        with pytest.raises(HardwareError):
+            CpuCore(sim, "x", clock_ghz=1.0, smt=0)
+        with pytest.raises(HardwareError):
+            Socket(sim, 0, n_cores=0, clock_ghz=1.0)
+
+
+class TestAllocation:
+    def test_sibling_allocation_shares_core(self, sim):
+        """§4.1: networker and dispatcher on hyperthreads of one core."""
+        machine = HostMachine(sim, sockets=1, cores_per_socket=2, smt=2)
+        networker = machine.allocate_thread("networker")
+        dispatcher = machine.allocate_thread("dispatcher",
+                                             share_core_with=networker)
+        assert dispatcher.core is networker.core
+        assert dispatcher is not networker
+
+    def test_sibling_exhaustion(self, sim):
+        machine = HostMachine(sim, sockets=1, cores_per_socket=1, smt=2)
+        a = machine.allocate_thread("a")
+        machine.allocate_thread("b", share_core_with=a)
+        with pytest.raises(HardwareError):
+            machine.allocate_thread("c", share_core_with=a)
+
+    def test_dedicated_core_blocks_sibling(self, sim):
+        """Workers get whole physical cores (§4.1)."""
+        machine = HostMachine(sim, sockets=1, cores_per_socket=2, smt=2)
+        worker = machine.allocate_dedicated_core("worker0")
+        sibling = worker.core.threads[1]
+        assert sibling.pinned_role == "worker0:sibling-idle"
+        # The next dedicated core is a different physical core.
+        other = machine.allocate_dedicated_core("worker1")
+        assert other.core is not worker.core
+
+    def test_out_of_cores(self, sim):
+        machine = HostMachine(sim, sockets=1, cores_per_socket=1, smt=2)
+        machine.allocate_dedicated_core("w0")
+        with pytest.raises(HardwareError):
+            machine.allocate_dedicated_core("w1")
+
+    def test_out_of_threads(self, sim):
+        machine = HostMachine(sim, sockets=1, cores_per_socket=1, smt=1)
+        machine.allocate_thread("a")
+        with pytest.raises(HardwareError):
+            machine.allocate_thread("b")

@@ -1,0 +1,76 @@
+"""Unit tests for interrupt-delivery mechanisms."""
+
+import pytest
+
+from repro.config import ARM_HOST_ONE_WAY_NS
+from repro.errors import ProcessInterrupt
+from repro.hw.cpu import CpuCore
+from repro.hw.interrupts import (
+    DirectWireInterrupt,
+    LinuxSignalDelivery,
+    PacketInterrupt,
+    PostedInterrupt,
+)
+
+
+@pytest.fixture
+def thread(sim):
+    return CpuCore(sim, "c0", clock_ghz=2.3).threads[0]
+
+
+def _interruptible_worker(sim, log):
+    try:
+        yield sim.timeout(1_000_000.0)
+    except ProcessInterrupt as pi:
+        log.append((sim.now, pi.cause))
+
+
+class TestPostedInterrupt:
+    def test_immediate_delivery(self, sim, thread):
+        log = []
+        proc = sim.process(_interruptible_worker(sim, log))
+        delivery = PostedInterrupt(thread)
+        sim.call_in(100.0, lambda: delivery.send(proc, cause="preempt"))
+        sim.run()
+        assert log == [(100.0, "preempt")]
+        assert delivery.delivered == 1
+
+    def test_receipt_cost_matches_dune(self, thread):
+        assert PostedInterrupt(thread).receipt_cost_ns == \
+            pytest.approx(1272 / 2.3)
+
+
+class TestLinuxSignal:
+    def test_receipt_cost_matches_linux(self, thread):
+        assert LinuxSignalDelivery(thread).receipt_cost_ns == \
+            pytest.approx(4193 / 2.3)
+
+
+class TestPacketInterrupt:
+    def test_delivery_delayed_by_wire(self, sim, thread):
+        """§3.4.4: packet interrupts arrive 2.56 µs late."""
+        log = []
+        proc = sim.process(_interruptible_worker(sim, log))
+        delivery = PacketInterrupt(thread)
+        sim.call_in(100.0, lambda: delivery.send(proc))
+        sim.run()
+        assert log[0][0] == pytest.approx(100.0 + ARM_HOST_ONE_WAY_NS)
+
+    def test_custom_latency(self, sim, thread):
+        log = []
+        proc = sim.process(_interruptible_worker(sim, log))
+        delivery = PacketInterrupt(thread, delivery_latency_ns=500.0)
+        delivery.send(proc)
+        sim.run()
+        assert log[0][0] == pytest.approx(500.0)
+
+
+class TestDirectWire:
+    def test_sub_microsecond_delivery(self, sim, thread):
+        log = []
+        proc = sim.process(_interruptible_worker(sim, log))
+        delivery = DirectWireInterrupt(thread)
+        delivery.send(proc)
+        sim.run()
+        assert log[0][0] == pytest.approx(200.0)
+        assert log[0][0] < 1000.0  # §5.1: well under a microsecond

@@ -1,0 +1,121 @@
+"""Unit tests for the Stingray SmartNIC fabric (§3.3)."""
+
+import pytest
+
+from repro.config import StingrayConfig
+from repro.errors import DeliveryError, HardwareError
+from repro.hw.smartnic import FabricDomain, StingraySmartNic
+from repro.net.packet import EthernetHeader, Packet
+
+
+def _packet(src_port, dst_mac):
+    return Packet(eth=EthernetHeader(src=src_port.mac, dst=dst_mac),
+                  payload="x")
+
+
+@pytest.fixture
+def nic(sim):
+    return StingraySmartNic(sim, StingrayConfig())
+
+
+def _arrival_time(sim, dst_port):
+    """Run a process that timestamps the next arrival at *dst_port*."""
+    times = []
+
+    def receiver():
+        yield dst_port.poll()
+        times.append(sim.now)
+
+    sim.process(receiver())
+    return times
+
+
+class TestFabricLatencies:
+    def test_arm_to_host_is_measured_2_56us(self, sim, nic):
+        """§3.3: 'The ARM CPU to host CPU communication latency is
+        2.56 µs.'"""
+        arm = nic.create_port(FabricDomain.ARM, "arm0")
+        vf = nic.create_port(FabricDomain.HOST, "vf0")
+        times = _arrival_time(sim, vf)
+        arm.transmit(_packet(arm, vf.mac))
+        sim.run()
+        assert times == [pytest.approx(2560.0)]
+
+    def test_host_to_arm_symmetric(self, sim, nic):
+        arm = nic.create_port(FabricDomain.ARM, "arm0")
+        vf = nic.create_port(FabricDomain.HOST, "vf0")
+        times = _arrival_time(sim, arm)
+        vf.transmit(_packet(vf, arm.mac))
+        sim.run()
+        assert times == [pytest.approx(2560.0)]
+
+    def test_external_to_arm_is_nic_pipeline(self, sim, nic):
+        arm = nic.create_port(FabricDomain.ARM, "arm0")
+        ext = nic.create_port(FabricDomain.EXTERNAL, "wire")
+        times = _arrival_time(sim, arm)
+        packet = Packet(eth=EthernetHeader(src=ext.mac, dst=arm.mac),
+                        payload="x")
+        nic.external_ingress(packet)
+        sim.run()
+        assert times == [pytest.approx(StingrayConfig().fabric_external_arm_ns)]
+
+    def test_intra_domain_latency(self, sim, nic):
+        a = nic.create_port(FabricDomain.ARM, "arm0")
+        b = nic.create_port(FabricDomain.ARM, "arm1")
+        times = _arrival_time(sim, b)
+        a.transmit(_packet(a, b.mac))
+        sim.run()
+        assert times == [pytest.approx(StingrayConfig().fabric_intra_ns)]
+
+
+class TestSteering:
+    def test_mac_steering_reaches_correct_vf(self, sim, nic):
+        """§3.2-1: requests addressed to specific cores by MAC."""
+        vfs = [nic.create_port(FabricDomain.HOST, f"vf{i}") for i in range(4)]
+        arm = nic.create_port(FabricDomain.ARM, "arm0")
+        arm.transmit(_packet(arm, vfs[2].mac))
+        sim.run()
+        assert vfs[2].rx_count == 1
+        assert all(vf.rx_count == 0 for i, vf in enumerate(vfs) if i != 2)
+
+    def test_unknown_mac_egresses_uplink(self, sim, nic):
+        from repro.net.addressing import MacAddress
+        out = []
+        nic.attach_uplink(out.append)
+        arm = nic.create_port(FabricDomain.ARM, "arm0")
+        arm.transmit(_packet(arm, MacAddress(0xDEAD)))
+        sim.run()
+        assert len(out) == 1
+        assert nic.egressed == 1
+
+    def test_unknown_mac_without_uplink_raises(self, sim, nic):
+        from repro.net.addressing import MacAddress
+        arm = nic.create_port(FabricDomain.ARM, "arm0")
+        with pytest.raises(DeliveryError):
+            arm.transmit(_packet(arm, MacAddress(0xDEAD)))
+
+    def test_forwarding_counters(self, sim, nic):
+        arm = nic.create_port(FabricDomain.ARM, "arm0")
+        vf = nic.create_port(FabricDomain.HOST, "vf0")
+        arm.transmit(_packet(arm, vf.mac))
+        sim.run()
+        assert nic.forwarded[(FabricDomain.ARM, FabricDomain.HOST)] == 1
+
+    def test_ports_in_listing(self, sim, nic):
+        nic.create_port(FabricDomain.ARM, "arm0")
+        nic.create_port(FabricDomain.HOST, "vf0")
+        nic.create_port(FabricDomain.HOST, "vf1")
+        assert len(nic.ports_in(FabricDomain.HOST)) == 2
+        assert len(nic.ports_in(FabricDomain.ARM)) == 1
+        assert len(nic.ports_in(FabricDomain.EXTERNAL)) == 0
+
+    def test_lookup(self, sim, nic):
+        vf = nic.create_port(FabricDomain.HOST, "vf0")
+        assert nic.lookup(vf.mac) is vf
+        from repro.net.addressing import MacAddress
+        assert nic.lookup(MacAddress(0x1)) is None
+
+    def test_unique_macs_per_nic(self, sim, nic):
+        ports = [nic.create_port(FabricDomain.HOST, f"vf{i}")
+                 for i in range(16)]
+        assert len({p.mac for p in ports}) == 16

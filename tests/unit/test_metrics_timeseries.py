@@ -1,0 +1,44 @@
+"""Unit tests for the bucketed time series."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.timeseries import TimeSeries
+from repro.units import SEC, ms
+
+
+class TestTimeSeries:
+    def test_bucketing(self):
+        series = TimeSeries(bucket_ns=ms(1.0))
+        series.record(ms(0.5))
+        series.record(ms(0.9))
+        series.record(ms(1.5))
+        buckets = series.buckets()
+        assert buckets == [(0.0, 2), (ms(1.0), 1)]
+
+    def test_counts_accumulate(self):
+        series = TimeSeries(bucket_ns=100.0)
+        series.record(50.0, count=3)
+        series.record(60.0, count=2)
+        assert series.total() == 5
+        assert len(series) == 1
+
+    def test_rates(self):
+        series = TimeSeries(bucket_ns=ms(1.0))
+        for _ in range(500):
+            series.record(ms(0.5))
+        (start, rate), = series.rates_rps()
+        assert start == 0.0
+        assert rate == pytest.approx(500 * SEC / ms(1.0))
+
+    def test_buckets_sorted(self):
+        series = TimeSeries(bucket_ns=10.0)
+        series.record(95.0)
+        series.record(5.0)
+        series.record(55.0)
+        starts = [s for s, _c in series.buckets()]
+        assert starts == sorted(starts)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ExperimentError):
+            TimeSeries(bucket_ns=0.0)

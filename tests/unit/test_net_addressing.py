@@ -1,0 +1,87 @@
+"""Unit tests for MAC/IP addresses and flow tuples."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.net.addressing import (
+    FiveTuple,
+    IpAddress,
+    MacAddress,
+    mac_allocator,
+)
+
+
+class TestMacAddress:
+    def test_parse_and_str_roundtrip(self):
+        mac = MacAddress.parse("aa:bb:cc:dd:ee:ff")
+        assert str(mac) == "aa:bb:cc:dd:ee:ff"
+        assert mac.value == 0xAABBCCDDEEFF
+
+    def test_malformed_rejected(self):
+        for bad in ("aa:bb:cc", "zz:bb:cc:dd:ee:ff", "aa-bb-cc-dd-ee-ff",
+                    "aa:bb:cc:dd:ee:fff"):
+            with pytest.raises(AddressError):
+                MacAddress.parse(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            MacAddress(1 << 48)
+        with pytest.raises(AddressError):
+            MacAddress(-1)
+
+    def test_equality_and_hash(self):
+        a = MacAddress(0x1234)
+        b = MacAddress(0x1234)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != MacAddress(0x1235)
+        assert a != "not a mac"
+
+    def test_broadcast(self):
+        bc = MacAddress.broadcast()
+        assert bc.is_broadcast
+        assert str(bc) == "ff:ff:ff:ff:ff:ff"
+        assert not MacAddress(1).is_broadcast
+
+    def test_allocator_unique(self):
+        alloc = mac_allocator()
+        macs = [next(alloc) for _ in range(100)]
+        assert len(set(macs)) == 100
+
+    def test_allocator_locally_administered(self):
+        mac = next(mac_allocator())
+        # 0x02 OUI prefix: locally administered, unicast.
+        assert str(mac).startswith("02:")
+
+
+class TestIpAddress:
+    def test_parse_and_str_roundtrip(self):
+        ip = IpAddress.parse("10.0.1.200")
+        assert str(ip) == "10.0.1.200"
+
+    def test_value_layout(self):
+        assert IpAddress.parse("1.2.3.4").value == 0x01020304
+
+    def test_malformed_rejected(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"):
+            with pytest.raises(AddressError):
+                IpAddress.parse(bad)
+
+    def test_equality(self):
+        assert IpAddress(5) == IpAddress(5)
+        assert IpAddress(5) != IpAddress(6)
+
+
+class TestFiveTuple:
+    def test_of_builder(self):
+        flow = FiveTuple.of(IpAddress.parse("10.0.0.1"),
+                            IpAddress.parse("10.0.0.2"), 1234, 9000)
+        assert flow.src_ip == 0x0A000001
+        assert flow.dst_ip == 0x0A000002
+        assert flow.protocol == 17
+
+    def test_is_hashable(self):
+        a = FiveTuple(1, 2, 3, 4, 17)
+        b = FiveTuple(1, 2, 3, 4, 17)
+        assert a == b
+        assert len({a, b}) == 1

@@ -1,0 +1,74 @@
+"""Unit tests for Flow-Director steering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.addressing import IpAddress, MacAddress
+from repro.net.flow_director import FlowDirector, FlowRule
+from repro.net.packet import make_udp_packet
+
+
+def _packet(dst_port=9000, src_port=1000, payload="x"):
+    return make_udp_packet(
+        src_mac=MacAddress(1), dst_mac=MacAddress(2),
+        src_ip=IpAddress.parse("10.0.0.1"), dst_ip=IpAddress.parse("10.0.0.2"),
+        src_port=src_port, dst_port=dst_port, payload=payload)
+
+
+class TestRules:
+    def test_exact_match_wins(self):
+        fd = FlowDirector(n_queues=4)
+        fd.add_rule(FlowRule(queue=3, dst_port=9000))
+        assert fd.steer(_packet(dst_port=9000)) == 3
+
+    def test_fallback_when_no_match(self):
+        fd = FlowDirector(n_queues=4, fallback=1)
+        fd.add_rule(FlowRule(queue=3, dst_port=9999))
+        assert fd.steer(_packet(dst_port=9000)) == 1
+
+    def test_priority_ordering(self):
+        fd = FlowDirector(n_queues=4)
+        fd.add_rule(FlowRule(queue=0, dst_port=9000, priority=1))
+        fd.add_rule(FlowRule(queue=2, dst_port=9000, priority=10))
+        assert fd.steer(_packet(dst_port=9000)) == 2
+
+    def test_multiple_fields_all_must_match(self):
+        fd = FlowDirector(n_queues=4)
+        fd.add_rule(FlowRule(queue=2, dst_port=9000, src_port=1000))
+        assert fd.steer(_packet(dst_port=9000, src_port=1000)) == 2
+        assert fd.steer(_packet(dst_port=9000, src_port=2000)) == 0
+
+    def test_rule_queue_validated(self):
+        fd = FlowDirector(n_queues=2)
+        with pytest.raises(ConfigError):
+            fd.add_rule(FlowRule(queue=5))
+
+    def test_table_capacity(self):
+        fd = FlowDirector(n_queues=2)
+        fd.MAX_RULES = 3  # shrink for the test
+        for i in range(3):
+            fd.add_rule(FlowRule(queue=0, dst_port=i))
+        with pytest.raises(ConfigError):
+            fd.add_rule(FlowRule(queue=0, dst_port=99))
+
+
+class TestKeySteering:
+    def test_key_extractor_partitions(self):
+        fd = FlowDirector(n_queues=4,
+                          key_extractor=lambda p: p.payload)
+        queue_a = fd.steer(_packet(payload="key-a"))
+        assert fd.steer(_packet(payload="key-a")) == queue_a
+
+    def test_int_keys_partition_modulo(self):
+        fd = FlowDirector(n_queues=4, key_extractor=lambda p: 7)
+        assert fd.steer(_packet()) == 3
+
+    def test_counts(self):
+        fd = FlowDirector(n_queues=2)
+        fd.steer(_packet())
+        fd.steer(_packet())
+        assert fd.counts[0] == 2
+
+    def test_bad_fallback_rejected(self):
+        with pytest.raises(ConfigError):
+            FlowDirector(n_queues=2, fallback=5)

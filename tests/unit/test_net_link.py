@@ -1,0 +1,89 @@
+"""Unit tests for the link model."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.addressing import MacAddress
+from repro.net.link import DuplexLink, Link
+from repro.net.packet import EthernetHeader, Packet
+
+
+def _packet(size=100):
+    # size = payload + 14 B Ethernet header
+    return Packet(eth=EthernetHeader(src=MacAddress(1), dst=MacAddress(2)),
+                  payload="x", payload_bytes=size - 14)
+
+
+class TestLatencyOnlyLink:
+    def test_delivery_after_latency(self, sim):
+        got = []
+        link = Link(sim, latency_ns=500.0, deliver=lambda p: got.append(sim.now))
+        link.transmit(_packet())
+        sim.run()
+        assert got == [500.0]
+
+    def test_zero_latency_immediate(self, sim):
+        got = []
+        link = Link(sim, latency_ns=0.0, deliver=lambda p: got.append(sim.now))
+        link.transmit(_packet())
+        assert got == [0.0]
+
+    def test_no_receiver_rejected(self, sim):
+        link = Link(sim, latency_ns=10.0)
+        with pytest.raises(NetworkError):
+            link.transmit(_packet())
+
+    def test_negative_latency_rejected(self, sim):
+        with pytest.raises(NetworkError):
+            Link(sim, latency_ns=-5.0)
+
+
+class TestSerialization:
+    def test_wire_time_for_64b_at_10g(self, sim):
+        got = []
+        link = Link(sim, latency_ns=0.0, bandwidth_gbps=10.0,
+                    deliver=lambda p: got.append(sim.now))
+        link.transmit(_packet(size=64))
+        sim.run()
+        # 64 B * 8 / 10e9 = 51.2 ns
+        assert got == [pytest.approx(51.2)]
+
+    def test_back_to_back_packets_queue(self, sim):
+        got = []
+        link = Link(sim, latency_ns=100.0, bandwidth_gbps=10.0,
+                    deliver=lambda p: got.append(sim.now))
+        link.transmit(_packet(size=125))  # 100 ns serialization
+        link.transmit(_packet(size=125))
+        sim.run()
+        # First: 100 (ser) + 100 (prop); second starts at 100: 200 + 100.
+        assert got == [pytest.approx(200.0), pytest.approx(300.0)]
+
+    def test_busy_property(self, sim):
+        link = Link(sim, latency_ns=0.0, bandwidth_gbps=1.0,
+                    deliver=lambda p: None)
+        link.transmit(_packet(size=1000))
+        assert link.busy
+
+    def test_counters(self, sim):
+        link = Link(sim, latency_ns=0.0, deliver=lambda p: None)
+        link.transmit(_packet(size=100))
+        link.transmit(_packet(size=200))
+        assert link.tx_count == 2
+        assert link.tx_bytes == 300
+
+    def test_nonpositive_bandwidth_rejected(self, sim):
+        with pytest.raises(NetworkError):
+            Link(sim, latency_ns=0.0, bandwidth_gbps=0.0)
+
+
+class TestDuplexLink:
+    def test_two_independent_directions(self, sim):
+        a_got, b_got = [], []
+        duplex = DuplexLink(sim, latency_ns=50.0)
+        duplex.a_to_b.connect(lambda p: b_got.append(sim.now))
+        duplex.b_to_a.connect(lambda p: a_got.append(sim.now))
+        duplex.a_to_b.transmit(_packet())
+        duplex.b_to_a.transmit(_packet())
+        sim.run()
+        assert b_got == [50.0]
+        assert a_got == [50.0]

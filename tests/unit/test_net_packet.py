@@ -1,0 +1,78 @@
+"""Unit tests for packets and headers."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.addressing import IpAddress, MacAddress
+from repro.net.packet import (
+    ETH_HEADER_BYTES,
+    IPV4_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+    EthernetHeader,
+    Packet,
+    UdpHeader,
+    make_udp_packet,
+)
+
+
+def _udp_packet(payload_bytes=64):
+    return make_udp_packet(
+        src_mac=MacAddress(1), dst_mac=MacAddress(2),
+        src_ip=IpAddress.parse("10.0.0.1"), dst_ip=IpAddress.parse("10.0.0.2"),
+        src_port=1234, dst_port=9000, payload="data",
+        payload_bytes=payload_bytes)
+
+
+class TestHeaders:
+    def test_udp_port_range_checked(self):
+        with pytest.raises(NetworkError):
+            UdpHeader(src_port=70000, dst_port=9000)
+        with pytest.raises(NetworkError):
+            UdpHeader(src_port=100, dst_port=-1)
+
+
+class TestPacket:
+    def test_size_includes_all_headers(self):
+        packet = _udp_packet(payload_bytes=100)
+        expected = (ETH_HEADER_BYTES + IPV4_HEADER_BYTES
+                    + UDP_HEADER_BYTES + 100)
+        assert packet.size_bytes == expected
+
+    def test_l2_only_size(self):
+        packet = Packet(eth=EthernetHeader(src=MacAddress(1),
+                                           dst=MacAddress(2)),
+                        payload="ctl", payload_bytes=10)
+        assert packet.size_bytes == ETH_HEADER_BYTES + 10
+
+    def test_flow_extraction(self):
+        packet = _udp_packet()
+        flow = packet.flow
+        assert flow.src_ip == 0x0A000001
+        assert flow.dst_ip == 0x0A000002
+        assert flow.src_port == 1234
+        assert flow.dst_port == 9000
+        assert flow.protocol == 17
+
+    def test_flow_without_headers_rejected(self):
+        packet = Packet(eth=EthernetHeader(src=MacAddress(1),
+                                           dst=MacAddress(2)),
+                        payload="x")
+        with pytest.raises(NetworkError):
+            _ = packet.flow
+
+    def test_packet_ids_unique(self):
+        a = _udp_packet()
+        b = _udp_packet()
+        assert a.packet_id != b.packet_id
+
+    def test_hop_loop_guard(self):
+        packet = _udp_packet()
+        for _ in range(Packet.MAX_HOPS):
+            packet.hop()
+        with pytest.raises(NetworkError):
+            packet.hop()
+
+    def test_repr_contains_kind(self):
+        packet = _udp_packet()
+        # RequestPayload not used here; payload is a str.
+        assert "str" in repr(packet)

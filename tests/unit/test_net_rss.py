@@ -1,0 +1,77 @@
+"""Unit tests for RSS steering."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.addressing import FiveTuple
+from repro.net.rss import RssSteering
+
+
+def _flow(src_port):
+    return FiveTuple(src_ip=0x0A000001, dst_ip=0x0A00000A,
+                     src_port=src_port, dst_port=9000, protocol=17)
+
+
+class TestConstruction:
+    def test_table_covers_all_queues(self):
+        rss = RssSteering(n_queues=5, table_size=128)
+        assert set(rss.table) == set(range(5))
+
+    def test_uniform_table_is_balanced(self):
+        rss = RssSteering(n_queues=4, table_size=128)
+        for q in range(4):
+            assert rss.table.count(q) == 32
+
+    def test_weighted_table_apportionment(self):
+        rss = RssSteering(n_queues=2, table_size=100, weights=[3.0, 1.0])
+        assert rss.table.count(0) == 75
+        assert rss.table.count(1) == 25
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            RssSteering(n_queues=0)
+        with pytest.raises(ConfigError):
+            RssSteering(n_queues=8, table_size=4)
+        with pytest.raises(ConfigError):
+            RssSteering(n_queues=2, weights=[1.0])
+        with pytest.raises(ConfigError):
+            RssSteering(n_queues=2, weights=[-1.0, 2.0])
+        with pytest.raises(ConfigError):
+            RssSteering(n_queues=2, weights=[0.0, 0.0])
+
+
+class TestSteering:
+    def test_deterministic_per_flow(self):
+        rss = RssSteering(n_queues=8)
+        flow = _flow(1234)
+        assert rss.steer_flow(flow) == rss.steer_flow(flow)
+
+    def test_counts_accumulate(self):
+        rss = RssSteering(n_queues=4)
+        for port in range(100):
+            rss.steer_flow(_flow(40000 + port))
+        assert sum(rss.counts) == 100
+
+    def test_many_flows_spread_reasonably(self):
+        """With many connections, RSS should spread load roughly evenly
+        (the condition IX/MICA need, §2.2-1)."""
+        rss = RssSteering(n_queues=8)
+        rng = random.Random(1)
+        for _ in range(4000):
+            rss.steer_flow(_flow(rng.randrange(1024, 65535)))
+        assert rss.imbalance() < 1.3
+
+    def test_few_flows_imbalance(self):
+        """With very few connections the spread is lumpy — the §2.2-1
+        'load imbalance' problem."""
+        rss = RssSteering(n_queues=8)
+        for port in (1000, 1001, 1002):  # only 3 flows
+            for _ in range(100):
+                rss.steer_flow(_flow(port))
+        # 3 flows over 8 queues cannot be balanced.
+        assert rss.imbalance() > 2.0
+
+    def test_imbalance_with_no_traffic(self):
+        assert RssSteering(n_queues=4).imbalance() == 1.0

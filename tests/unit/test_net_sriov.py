@@ -1,0 +1,51 @@
+"""Unit tests for SR-IOV virtual functions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.addressing import MacAddress, mac_allocator
+from repro.net.packet import EthernetHeader, Packet
+from repro.net.sriov import SriovPool
+from repro.net.switch import LearningSwitch
+
+
+class TestSriovPool:
+    def test_allocation_gives_unique_macs(self, sim):
+        switch = LearningSwitch(sim)
+        pool = SriovPool(sim, switch, mac_allocator())
+        vfs = [pool.allocate() for _ in range(8)]
+        macs = {vf.mac for vf in vfs}
+        assert len(macs) == 8
+        assert len(pool) == 8
+
+    def test_vf_reachable_through_switch(self, sim):
+        """§3.2-1: the NIC can address a specific core's VF by MAC."""
+        switch = LearningSwitch(sim, strict=True)
+        pool = SriovPool(sim, switch, mac_allocator())
+        vf0 = pool.allocate()
+        vf1 = pool.allocate()
+        packet = Packet(eth=EthernetHeader(src=MacAddress(0xBEEF),
+                                           dst=vf1.mac), payload="to-vf1")
+        switch.ingress(packet)
+        assert vf1.port.rx_depth == 1
+        assert vf0.port.rx_depth == 0
+
+    def test_vf_limit_enforced(self, sim):
+        switch = LearningSwitch(sim)
+        pool = SriovPool(sim, switch, mac_allocator(), max_vfs=2)
+        pool.allocate()
+        pool.allocate()
+        with pytest.raises(ConfigError):
+            pool.allocate()
+
+    def test_bad_limit_rejected(self, sim):
+        with pytest.raises(ConfigError):
+            SriovPool(sim, LearningSwitch(sim), mac_allocator(), max_vfs=0)
+
+    def test_functions_listing_is_a_copy(self, sim):
+        switch = LearningSwitch(sim)
+        pool = SriovPool(sim, switch, mac_allocator())
+        pool.allocate()
+        listing = pool.functions
+        listing.clear()
+        assert len(pool) == 1

@@ -1,0 +1,78 @@
+"""Unit tests for the learning switch."""
+
+import pytest
+
+from repro.errors import DeliveryError
+from repro.net.addressing import MacAddress
+from repro.net.packet import EthernetHeader, Packet
+from repro.net.switch import LearningSwitch
+
+
+def _packet(src, dst):
+    return Packet(eth=EthernetHeader(src=MacAddress(src), dst=MacAddress(dst)),
+                  payload="x")
+
+
+class TestForwarding:
+    def test_static_binding(self, sim):
+        switch = LearningSwitch(sim)
+        got = []
+        port = switch.add_port("p0", lambda p: got.append(p))
+        switch.bind(MacAddress(2), port)
+        switch.ingress(_packet(1, 2))
+        assert len(got) == 1
+        assert switch.forwarded == 1
+
+    def test_learning_from_source(self, sim):
+        switch = LearningSwitch(sim)
+        a_got, b_got = [], []
+        port_a = switch.add_port("a", lambda p: a_got.append(p))
+        port_b = switch.add_port("b", lambda p: b_got.append(p))
+        # Host 1 on port a talks first: floods, then is learned.
+        switch.ingress(_packet(1, 2), in_port=port_a)
+        assert switch.flooded == 1
+        assert len(b_got) == 1          # flooded out the other port
+        assert len(a_got) == 0          # not back out the ingress port
+        # Reply to host 1 is now unicast to port a.
+        switch.ingress(_packet(2, 1), in_port=port_b)
+        assert len(a_got) == 1
+        assert switch.forwarded == 1
+
+    def test_broadcast_floods_all_but_ingress(self, sim):
+        switch = LearningSwitch(sim)
+        got = {name: [] for name in "abc"}
+        ports = {name: switch.add_port(name, lambda p, n=name: got[n].append(p))
+                 for name in "abc"}
+        bc = Packet(eth=EthernetHeader(src=MacAddress(1),
+                                       dst=MacAddress.broadcast()),
+                    payload="x")
+        switch.ingress(bc, in_port=ports["a"])
+        assert len(got["a"]) == 0
+        assert len(got["b"]) == 1
+        assert len(got["c"]) == 1
+
+    def test_strict_mode_raises_on_unknown(self, sim):
+        switch = LearningSwitch(sim, strict=True)
+        switch.add_port("p0", lambda p: None)
+        with pytest.raises(DeliveryError):
+            switch.ingress(_packet(1, 99))
+
+    def test_forwarding_latency(self, sim):
+        switch = LearningSwitch(sim, forwarding_latency_ns=300.0)
+        got = []
+        port = switch.add_port("p0", lambda p: got.append(sim.now))
+        switch.bind(MacAddress(2), port)
+        switch.ingress(_packet(1, 2))
+        sim.run()
+        assert got == [300.0]
+
+    def test_ingress_from_callback_learns(self, sim):
+        switch = LearningSwitch(sim)
+        port = switch.add_port("p0", lambda p: None)
+        callback = switch.ingress_from(port)
+        callback(_packet(5, 6))
+        assert switch.lookup(MacAddress(5)) is port
+
+    def test_negative_latency_rejected(self, sim):
+        with pytest.raises(DeliveryError):
+            LearningSwitch(sim, forwarding_latency_ns=-1.0)

@@ -1,0 +1,22 @@
+"""The nic_scan mechanism must not silently build a local driver."""
+
+import pytest
+
+from repro.config import PreemptionConfig
+from repro.core.preemption import PreemptionDriver
+from repro.errors import ConfigError
+from repro.hw.cpu import CpuCore
+from repro.units import us
+
+
+def test_nic_scan_rejected_by_local_driver(sim):
+    thread = CpuCore(sim, "c0", 2.3).threads[0]
+    config = PreemptionConfig(time_slice_ns=us(10.0), mechanism="nic_scan")
+    with pytest.raises(ConfigError, match="nic_scan"):
+        PreemptionDriver(thread, config)
+
+
+def test_nic_scan_config_itself_is_valid():
+    config = PreemptionConfig(time_slice_ns=us(10.0), mechanism="nic_scan")
+    assert config.enabled
+    assert config.mechanism == "nic_scan"

@@ -1,0 +1,40 @@
+"""Unit tests for execution contexts."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.context import ContextCosts, ExecutionContext
+
+
+class TestContextCosts:
+    def test_defaults_positive(self):
+        costs = ContextCosts()
+        assert costs.spawn_ns >= 0
+        assert costs.save_ns >= 0
+        assert costs.restore_ns >= 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            ContextCosts(spawn_ns=-1.0)
+        with pytest.raises(ConfigError):
+            ContextCosts(save_ns=-1.0)
+        with pytest.raises(ConfigError):
+            ContextCosts(restore_ns=-1.0)
+
+    def test_frozen(self):
+        costs = ContextCosts()
+        with pytest.raises(Exception):
+            costs.spawn_ns = 5.0  # type: ignore[misc]
+
+
+class TestExecutionContext:
+    def test_ids_unique(self):
+        assert ExecutionContext().context_id != ExecutionContext().context_id
+
+    def test_save_restore_counters(self):
+        ctx = ExecutionContext()
+        ctx.record_save()
+        ctx.record_save()
+        ctx.record_restore()
+        assert ctx.saves == 2
+        assert ctx.restores == 1

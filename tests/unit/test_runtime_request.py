@@ -1,0 +1,77 @@
+"""Unit tests for the request lifecycle object."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.runtime.request import Request, RequestState
+
+
+class TestLifecycle:
+    def test_fresh_request(self):
+        req = Request(service_ns=1000.0, arrival_ns=50.0)
+        assert req.state is RequestState.CREATED
+        assert req.remaining_ns == 1000.0
+        assert req.preemptions == 0
+        assert req.context is None
+
+    def test_ids_unique(self):
+        a = Request(1.0)
+        b = Request(1.0)
+        assert a.request_id != b.request_id
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(WorkloadError):
+            Request(service_ns=-1.0)
+
+    def test_run_for_consumes_demand(self):
+        req = Request(service_ns=1000.0)
+        req.run_for(400.0)
+        assert req.remaining_ns == 600.0
+        assert not req.finished_work
+        req.run_for(600.0)
+        assert req.finished_work
+
+    def test_run_for_clamps_at_zero(self):
+        req = Request(service_ns=100.0)
+        req.run_for(500.0)
+        assert req.remaining_ns == 0.0
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(WorkloadError):
+            Request(100.0).run_for(-1.0)
+
+
+class TestTimestamps:
+    def test_stamp_keeps_first(self):
+        req = Request(100.0)
+        req.stamp("dispatched", 10.0)
+        req.stamp("dispatched", 99.0)
+        assert req.stamps["dispatched"] == 10.0
+
+    def test_restamp_overwrites(self):
+        req = Request(100.0)
+        req.restamp("queued", 10.0)
+        req.restamp("queued", 99.0)
+        assert req.stamps["queued"] == 99.0
+
+
+class TestCompletion:
+    def test_latency(self):
+        req = Request(service_ns=100.0, arrival_ns=1000.0)
+        req.complete(3500.0)
+        assert req.state is RequestState.COMPLETED
+        assert req.latency_ns == 2500.0
+
+    def test_latency_before_completion_raises(self):
+        with pytest.raises(WorkloadError):
+            _ = Request(100.0).latency_ns
+
+    def test_slowdown(self):
+        req = Request(service_ns=100.0, arrival_ns=0.0)
+        req.complete(500.0)
+        assert req.slowdown == 5.0
+
+    def test_slowdown_zero_service(self):
+        req = Request(service_ns=0.0, arrival_ns=0.0)
+        req.complete(10.0)
+        assert req.slowdown == float("inf")

@@ -1,0 +1,157 @@
+"""Unit tests for events and composite conditions."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import EventState
+
+
+class TestEventLifecycle:
+    def test_fresh_event_is_pending(self, sim):
+        ev = sim.event()
+        assert ev.state is EventState.PENDING
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_carries_value(self, sim):
+        ev = sim.event()
+        ev.succeed("result")
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == "result"
+
+    def test_succeed_twice_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SchedulingError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_fail_carries_exception(self, sim):
+        ev = sim.event()
+        exc = RuntimeError("x")
+        ev.fail(exc)
+        assert ev.triggered
+        assert not ev.ok
+        assert ev.value is exc
+
+    def test_delayed_succeed(self, sim):
+        ev = sim.event()
+        hits = []
+        ev.callbacks.append(lambda _e: hits.append(sim.now))
+        ev.succeed(delay=12.0)
+        sim.run()
+        assert hits == [12.0]
+
+    def test_callbacks_cleared_after_processing(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        sim.run()
+        assert ev.processed
+        assert ev.callbacks is None
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.timeout(-1.0)
+
+    def test_zero_delay_fires_immediately(self, sim):
+        hits = []
+        ev = sim.timeout(0.0, value="v")
+        ev.callbacks.append(lambda e: hits.append(e.value))
+        sim.run()
+        assert hits == ["v"]
+        assert sim.now == 0.0
+
+    def test_timeout_value_passthrough(self, sim):
+        def waiter(sim):
+            got = yield sim.timeout(5.0, value=99)
+            return got
+
+        proc = sim.process(waiter(sim))
+        sim.run()
+        assert proc.value == 99
+
+
+class TestAnyOf:
+    def test_fires_on_first(self, sim):
+        fast = sim.timeout(5.0, value="fast")
+        slow = sim.timeout(50.0, value="slow")
+        cond = sim.any_of([fast, slow])
+
+        def waiter(sim):
+            result = yield cond
+            return result
+
+        proc = sim.process(waiter(sim))
+        sim.run()
+        assert fast in proc.value
+        assert proc.value[fast] == "fast"
+
+    def test_simultaneous_children_both_reported(self, sim):
+        a = sim.timeout(5.0, value="a")
+        b = sim.timeout(5.0, value="b")
+        cond = sim.any_of([a, b])
+        sim.run()
+        # Both are triggered at t=5; the condition resolves with at
+        # least the first and collects all already-triggered children.
+        assert cond.triggered
+        assert a in cond.value
+
+    def test_empty_anyof_fires_immediately(self, sim):
+        cond = sim.any_of([])
+        assert cond.triggered
+
+    def test_failed_child_fails_condition(self, sim):
+        good = sim.timeout(50.0)
+        bad = sim.event()
+        cond = sim.any_of([good, bad])
+        bad.fail(ValueError("child failed"))
+        sim.run(until=10.0)
+        assert cond.triggered
+        assert not cond.ok
+
+    def test_cross_simulator_rejected(self, sim):
+        other = Simulator()
+        foreign = other.timeout(1.0)
+        local = sim.timeout(1.0)
+        with pytest.raises(SimulationError):
+            sim.any_of([local, foreign])
+
+
+class TestAllOf:
+    def test_waits_for_all(self, sim):
+        a = sim.timeout(5.0, value=1)
+        b = sim.timeout(20.0, value=2)
+        cond = sim.all_of([a, b])
+        done_at = []
+        cond.callbacks.append(lambda _e: done_at.append(sim.now))
+        sim.run()
+        assert done_at == [20.0]
+        assert cond.value == {a: 1, b: 2}
+
+    def test_empty_allof_fires_immediately(self, sim):
+        cond = sim.all_of([])
+        assert cond.triggered
+
+    def test_failure_short_circuits(self, sim):
+        slow = sim.timeout(100.0)
+        bad = sim.event()
+        cond = sim.all_of([slow, bad])
+        bad.fail(RuntimeError("nope"))
+        sim.run(until=1.0)
+        assert cond.triggered
+        assert not cond.ok

@@ -1,0 +1,245 @@
+"""Unit tests for Store, Resource, Channel, and Signal."""
+
+import pytest
+
+from repro.errors import QueueFullError, SimulationError
+from repro.sim.primitives import Channel, Resource, Signal, Store
+
+
+class TestStoreBasics:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+        got = []
+
+        def consumer(sim):
+            item = yield store.get()
+            got.append(item)
+
+        sim.process(consumer(sim))
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer(sim):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        sim.process(consumer(sim))
+        sim.call_in(25.0, lambda: store.put("late"))
+        sim.run()
+        assert got == [(25.0, "late")]
+
+    def test_fifo_item_order(self, sim):
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def consumer(sim):
+            for _ in range(5):
+                got.append((yield store.get()))
+
+        sim.process(consumer(sim))
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_fifo_waiter_order(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer(tag, sim):
+            item = yield store.get()
+            got.append((tag, item))
+
+        sim.process(consumer("first", sim))
+        sim.process(consumer("second", sim))
+        sim.call_in(5.0, lambda: store.put("a"))
+        sim.call_in(6.0, lambda: store.put("b"))
+        sim.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_try_get_nonblocking(self, sim):
+        store = Store(sim)
+        assert store.try_get() == (False, None)
+        store.put(7)
+        assert store.try_get() == (True, 7)
+
+    def test_peek_leaves_item(self, sim):
+        store = Store(sim)
+        store.put("head")
+        assert store.peek() == "head"
+        assert len(store) == 1
+
+    def test_peek_empty_raises(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim).peek()
+
+    def test_max_depth_tracking(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        store.try_get()
+        assert store.max_depth == 3
+        assert store.total_put == 3
+
+
+class TestBoundedStore:
+    def test_try_put_drops_when_full(self, sim):
+        store = Store(sim, capacity=2)
+        assert store.try_put(1)
+        assert store.try_put(2)
+        assert not store.try_put(3)
+        assert len(store) == 2
+
+    def test_put_or_raise(self, sim):
+        store = Store(sim, capacity=1)
+        store.put_or_raise("a")
+        with pytest.raises(QueueFullError):
+            store.put_or_raise("b")
+
+    def test_blocking_put_waits_for_space(self, sim):
+        store = Store(sim, capacity=1)
+        store.put("first")
+        done = []
+
+        def producer(sim):
+            yield store.put("second")
+            done.append(sim.now)
+
+        def consumer(sim):
+            yield sim.timeout(30.0)
+            yield store.get()
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert done == [30.0]
+        assert len(store) == 1
+
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+    def test_cancel_get_removes_waiter(self, sim):
+        store = Store(sim)
+        ev = store.get()
+        store.cancel_get(ev)
+        store.put("x")
+        # The cancelled waiter must not have consumed the item.
+        assert len(store) == 1
+        assert not ev.triggered
+
+
+class TestResource:
+    def test_grant_up_to_slots(self, sim):
+        res = Resource(sim, slots=2)
+        a = res.request()
+        b = res.request()
+        c = res.request()
+        assert a.triggered and b.triggered
+        assert not c.triggered
+        assert res.in_use == 2
+
+    def test_release_hands_to_waiter(self, sim):
+        res = Resource(sim, slots=1)
+        res.request()
+        waiter = res.request()
+        assert not waiter.triggered
+        res.release()
+        assert waiter.triggered
+        assert res.in_use == 1
+
+    def test_release_idle_raises(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim).release()
+
+    def test_available_accounting(self, sim):
+        res = Resource(sim, slots=3)
+        res.request()
+        assert res.available == 2
+
+
+class TestChannel:
+    def test_latency_applied(self, sim):
+        ch = Channel(sim, latency=100.0)
+        got = []
+
+        def rx(sim):
+            item = yield ch.recv()
+            got.append((sim.now, item))
+
+        sim.process(rx(sim))
+        ch.send("msg")
+        sim.run()
+        assert got == [(100.0, "msg")]
+
+    def test_zero_latency_immediate(self, sim):
+        ch = Channel(sim, latency=0.0)
+        ch.send("now")
+        assert len(ch.rx) == 1
+
+    def test_order_preserved(self, sim):
+        ch = Channel(sim, latency=50.0)
+        got = []
+
+        def rx(sim):
+            for _ in range(3):
+                got.append((yield ch.recv()))
+
+        sim.process(rx(sim))
+        for i in range(3):
+            ch.send(i)
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_bounded_channel_drops(self, sim):
+        ch = Channel(sim, latency=0.0, capacity=1)
+        ch.send("keep")
+        ch.send("drop")
+        sim.run()
+        assert ch.dropped == 1
+        assert len(ch.rx) == 1
+
+    def test_negative_latency_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Channel(sim, latency=-1.0)
+
+
+class TestSignal:
+    def test_fire_wakes_all_waiters(self, sim):
+        signal = Signal(sim)
+        woken = []
+
+        def waiter(tag, sim):
+            value = yield signal.wait()
+            woken.append((tag, value))
+
+        sim.process(waiter("a", sim))
+        sim.process(waiter("b", sim))
+        sim.call_in(10.0, lambda: signal.fire("go"))
+        sim.run()
+        assert sorted(woken) == [("a", "go"), ("b", "go")]
+
+    def test_fire_with_no_waiters(self, sim):
+        signal = Signal(sim)
+        assert signal.fire() == 0
+        assert signal.fired == 1
+
+    def test_waits_are_one_shot(self, sim):
+        signal = Signal(sim)
+        wakeups = []
+
+        def waiter(sim):
+            yield signal.wait()
+            wakeups.append(sim.now)
+
+        sim.process(waiter(sim))
+        sim.call_in(5.0, lambda: signal.fire())
+        sim.call_in(15.0, lambda: signal.fire())
+        sim.run()
+        # The process waited once; the second fire finds no waiters.
+        assert wakeups == [5.0]

@@ -1,0 +1,209 @@
+"""Unit tests for generator-based processes and interrupts."""
+
+import pytest
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestBasicExecution:
+    def test_process_returns_value(self, sim):
+        def worker(sim):
+            yield sim.timeout(10.0)
+            return 42
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.ok
+        assert proc.value == 42
+
+    def test_process_sequences_timeouts(self, sim):
+        times = []
+
+        def worker(sim):
+            for delay in (5.0, 10.0, 15.0):
+                yield sim.timeout(delay)
+                times.append(sim.now)
+
+        sim.process(worker(sim))
+        sim.run()
+        assert times == [5.0, 15.0, 30.0]
+
+    def test_needs_a_generator(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+    def test_yielding_non_event_fails_process(self, sim):
+        def bad(sim):
+            yield 42
+
+        proc = sim.process(bad(sim))
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, SimulationError)
+
+    def test_yielding_foreign_event_fails_process(self, sim):
+        other = Simulator()
+
+        def bad(sim):
+            yield other.timeout(1.0)
+
+        proc = sim.process(bad(sim))
+        sim.run()
+        assert not proc.ok
+
+    def test_exception_fails_process(self, sim):
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise KeyError("missing")
+
+        proc = sim.process(bad(sim))
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, KeyError)
+
+    def test_process_waits_on_another_process(self, sim):
+        def child(sim):
+            yield sim.timeout(7.0)
+            return "child-result"
+
+        def parent(sim):
+            result = yield sim.process(child(sim))
+            return ("parent", result, sim.now)
+
+        proc = sim.process(parent(sim))
+        sim.run()
+        assert proc.value == ("parent", "child-result", 7.0)
+
+    def test_waiting_on_already_processed_event(self, sim):
+        ev = sim.timeout(1.0, value="early")
+
+        def late_waiter(sim):
+            yield sim.timeout(10.0)
+            got = yield ev  # processed long ago
+            return got
+
+        proc = sim.process(late_waiter(sim))
+        sim.run()
+        assert proc.value == "early"
+
+    def test_failed_event_throws_into_process(self, sim):
+        ev = sim.event()
+
+        def waiter(sim):
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        proc = sim.process(waiter(sim))
+        ev.fail(RuntimeError("wire down"))
+        sim.run()
+        assert proc.value == "caught wire down"
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, sim):
+        causes = []
+
+        def worker(sim):
+            try:
+                yield sim.timeout(100.0)
+            except ProcessInterrupt as pi:
+                causes.append((sim.now, pi.cause))
+
+        proc = sim.process(worker(sim))
+        sim.call_in(30.0, lambda: proc.interrupt("preempt!"))
+        sim.run()
+        assert causes == [(30.0, "preempt!")]
+
+    def test_interrupted_process_can_continue(self, sim):
+        log = []
+
+        def worker(sim):
+            try:
+                yield sim.timeout(100.0)
+            except ProcessInterrupt:
+                log.append("interrupted")
+            yield sim.timeout(10.0)
+            log.append("resumed-done")
+            return sim.now
+
+        proc = sim.process(worker(sim))
+        sim.call_in(40.0, lambda: proc.interrupt())
+        sim.run()
+        assert log == ["interrupted", "resumed-done"]
+        assert proc.value == 50.0
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def worker(sim):
+            yield sim.timeout(100.0)
+
+        proc = sim.process(worker(sim))
+        sim.call_in(10.0, lambda: proc.interrupt("die"))
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, ProcessInterrupt)
+
+    def test_interrupting_finished_process_is_noop(self, sim):
+        def worker(sim):
+            yield sim.timeout(5.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        proc.interrupt("too late")
+        sim.run()
+        assert proc.ok
+        assert proc.value == "done"
+
+    def test_interrupt_detaches_from_waited_event(self, sim):
+        """After an interrupt, the originally awaited event firing must
+        not resume the process a second time."""
+        resumed = []
+
+        def worker(sim):
+            try:
+                yield sim.timeout(50.0)
+                resumed.append("timeout")
+            except ProcessInterrupt:
+                resumed.append("interrupt")
+                yield sim.timeout(100.0)
+                resumed.append("second-wait")
+
+        proc = sim.process(worker(sim))
+        sim.call_in(10.0, lambda: proc.interrupt())
+        sim.run()
+        # The 50ns timeout fires at t=50 while we wait until t=110;
+        # it must not corrupt the second wait.
+        assert resumed == ["interrupt", "second-wait"]
+        assert proc.ok
+
+    def test_interrupt_is_alive_property(self, sim):
+        def worker(sim):
+            yield sim.timeout(10.0)
+
+        proc = sim.process(worker(sim))
+        assert proc.is_alive
+        sim.run()
+        assert not proc.is_alive
+
+    def test_two_processes_interleave(self, sim):
+        log = []
+
+        def ping(sim):
+            for _ in range(3):
+                yield sim.timeout(10.0)
+                log.append(("ping", sim.now))
+
+        def pong(sim):
+            yield sim.timeout(5.0)
+            for _ in range(3):
+                yield sim.timeout(10.0)
+                log.append(("pong", sim.now))
+
+        sim.process(ping(sim))
+        sim.process(pong(sim))
+        sim.run()
+        assert log == [("ping", 10.0), ("pong", 15.0), ("ping", 20.0),
+                       ("pong", 25.0), ("ping", 30.0), ("pong", 35.0)]

@@ -1,0 +1,63 @@
+"""Unit tests for the structured tracer."""
+
+from repro.sim.trace import NullTracer, Tracer
+
+
+class TestTracer:
+    def test_records_time_and_fields(self, sim):
+        tracer = Tracer(sim)
+        sim.call_in(10.0, lambda: tracer.emit("worker", "start", req=1))
+        sim.run()
+        records = list(tracer)
+        assert len(records) == 1
+        assert records[0].time == 10.0
+        assert records[0].component == "worker"
+        assert records[0].action == "start"
+        assert records[0].fields == {"req": 1}
+
+    def test_disabled_tracer_records_nothing(self, sim):
+        tracer = Tracer(sim, enabled=False)
+        tracer.emit("x", "y")
+        assert len(tracer) == 0
+
+    def test_ring_buffer_keeps_recent(self, sim):
+        tracer = Tracer(sim, max_records=3)
+        for i in range(10):
+            tracer.emit("c", "a", i=i)
+        assert [r.fields["i"] for r in tracer] == [7, 8, 9]
+
+    def test_filtering(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("worker", "start", req=1)
+        tracer.emit("worker", "finish", req=1)
+        tracer.emit("dispatcher", "assign", req=2)
+        assert len(tracer.records(component="worker")) == 2
+        assert len(tracer.records(action="assign")) == 1
+        assert len(tracer.records(component="worker", req=1)) == 2
+        assert tracer.records(component="worker", req=99) == []
+
+    def test_actions_helper(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("w", "a")
+        tracer.emit("w", "b")
+        assert tracer.actions(component="w") == ["a", "b"]
+
+    def test_clear(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("w", "a")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_dump_is_readable(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("worker", "start", req=5)
+        dump = tracer.dump()
+        assert "worker.start" in dump
+        assert "req=5" in dump
+
+
+class TestNullTracer:
+    def test_emit_is_noop(self):
+        tracer = NullTracer()
+        tracer.emit("a", "b", c=1)
+        assert len(tracer) == 0

@@ -1,0 +1,119 @@
+"""Unit tests for the open-loop load generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics.collector import MetricsCollector
+from repro.sim.rng import RngRegistry
+from repro.units import ms, us
+from repro.workload.arrivals import PoissonArrivals, UniformArrivals
+from repro.workload.distributions import Fixed
+from repro.workload.generator import ClientPool, OpenLoopLoadGenerator
+
+
+class TestClientPool:
+    def test_flow_count(self):
+        pool = ClientPool(n_clients=2, connections_per_client=64)
+        assert len(pool) == 128
+
+    def test_flows_unique(self):
+        pool = ClientPool(n_clients=3, connections_per_client=10)
+        assert len(set(pool.flows)) == 30
+
+    def test_pick_from_pool(self, rngs):
+        pool = ClientPool(n_clients=1, connections_per_client=4)
+        rng = rngs.stream("flows")
+        for _ in range(20):
+            assert pool.pick(rng) in pool.flows
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ClientPool(n_clients=0)
+
+
+class TestGenerator:
+    def _generator(self, sim, rngs, rate=1e6, horizon=ms(1.0), sink=None):
+        metrics = MetricsCollector(sim)
+        received = []
+        generator = OpenLoopLoadGenerator(
+            sim, ingress=(sink if sink is not None else received.append),
+            arrivals=PoissonArrivals(rate), rngs=rngs, metrics=metrics,
+            horizon_ns=horizon, distribution=Fixed(us(1.0)))
+        return generator, received, metrics
+
+    def test_generates_roughly_rate_times_horizon(self, sim, rngs):
+        generator, received, _ = self._generator(sim, rngs, rate=1e6,
+                                                 horizon=ms(2.0))
+        generator.start()
+        sim.run()
+        # ~2000 expected at 1 M RPS over 2 ms.
+        assert 1800 <= len(received) <= 2200
+        assert generator.generated == len(received)
+
+    def test_stops_at_horizon(self, sim, rngs):
+        generator, received, _ = self._generator(sim, rngs, horizon=ms(1.0))
+        generator.start()
+        sim.run()
+        assert all(r.arrival_ns <= ms(1.0) for r in received)
+
+    def test_arrivals_recorded_in_metrics(self, sim, rngs):
+        generator, received, metrics = self._generator(sim, rngs)
+        generator.start()
+        sim.run()
+        assert metrics.generated == len(received)
+
+    def test_requests_get_flow_identity(self, sim, rngs):
+        generator, received, _ = self._generator(sim, rngs)
+        generator.start()
+        sim.run()
+        ports = {r.src_port for r in received}
+        assert len(ports) > 1  # many connections in play
+
+    def test_deterministic_for_seed(self, sim):
+        def run(seed):
+            from repro.sim.engine import Simulator
+            local_sim = Simulator()
+            rngs = RngRegistry(seed)
+            metrics = MetricsCollector(local_sim)
+            received = []
+            generator = OpenLoopLoadGenerator(
+                local_sim, received.append, PoissonArrivals(5e5), rngs,
+                metrics, horizon_ns=ms(1.0), distribution=Fixed(us(1.0)))
+            generator.start()
+            local_sim.run()
+            return [(r.arrival_ns, r.src_port) for r in received]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_uniform_arrivals_paced(self, sim, rngs):
+        metrics = MetricsCollector(sim)
+        received = []
+        generator = OpenLoopLoadGenerator(
+            sim, received.append, UniformArrivals(1e6), rngs, metrics,
+            horizon_ns=us(10.0), distribution=Fixed(us(1.0)))
+        generator.start()
+        sim.run()
+        gaps = [b.arrival_ns - a.arrival_ns
+                for a, b in zip(received, received[1:])]
+        assert all(g == pytest.approx(1000.0) for g in gaps)
+
+    def test_double_start_rejected(self, sim, rngs):
+        generator, _, _ = self._generator(sim, rngs)
+        generator.start()
+        with pytest.raises(WorkloadError):
+            generator.start()
+
+    def test_needs_app_or_distribution(self, sim, rngs):
+        metrics = MetricsCollector(sim)
+        with pytest.raises(WorkloadError):
+            OpenLoopLoadGenerator(
+                sim, lambda r: None, PoissonArrivals(1e6), rngs, metrics,
+                horizon_ns=ms(1.0))
+
+    def test_bad_horizon_rejected(self, sim, rngs):
+        metrics = MetricsCollector(sim)
+        with pytest.raises(WorkloadError):
+            OpenLoopLoadGenerator(
+                sim, lambda r: None, PoissonArrivals(1e6), rngs, metrics,
+                horizon_ns=0.0, distribution=Fixed(1.0))

@@ -1,0 +1,121 @@
+"""Unit tests for workload trace record/replay."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.units import ms, us
+from repro.workload.arrivals import PoissonArrivals, UniformArrivals
+from repro.workload.distributions import Bimodal, Fixed
+from repro.workload.trace import RequestTrace, TraceEntry, TraceReplayer
+
+
+def _simple_trace(n=5, gap=1000.0, service=500.0):
+    return RequestTrace([
+        TraceEntry(arrival_ns=(i + 1) * gap, service_ns=service,
+                   src_ip=0x0A000001, src_port=40000 + i)
+        for i in range(n)])
+
+
+class TestRecording:
+    def test_record_respects_horizon(self):
+        trace = RequestTrace.record(Fixed(us(1.0)),
+                                    UniformArrivals(1e6),
+                                    horizon_ns=ms(1.0), seed=1)
+        assert len(trace) == 1000  # one per us, up to and incl. 1 ms
+        assert trace.horizon_ns <= ms(1.0)
+
+    def test_record_deterministic_per_seed(self):
+        def make(seed):
+            trace = RequestTrace.record(
+                Bimodal(us(1.0), us(100.0), 0.1), PoissonArrivals(5e5),
+                horizon_ns=ms(1.0), seed=seed)
+            return [(e.arrival_ns, e.service_ns) for e in trace.entries]
+
+        assert make(7) == make(7)
+        assert make(7) != make(8)
+
+    def test_offered_rate_estimate(self):
+        trace = RequestTrace.record(Fixed(us(1.0)), PoissonArrivals(1e6),
+                                    horizon_ns=ms(2.0), seed=3)
+        assert trace.offered_rps() == pytest.approx(1e6, rel=0.1)
+
+    def test_total_work(self):
+        trace = _simple_trace(n=4, service=250.0)
+        assert trace.total_work_ns() == 1000.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RequestTrace([])
+        with pytest.raises(WorkloadError):
+            RequestTrace([TraceEntry(100.0, 1.0, 0, 0),
+                          TraceEntry(50.0, 1.0, 0, 0)])  # out of order
+        with pytest.raises(WorkloadError):
+            RequestTrace.record(Fixed(1.0), PoissonArrivals(1e6),
+                                horizon_ns=0.0)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        original = RequestTrace.record(
+            Bimodal(us(1.0), us(100.0), 0.1), PoissonArrivals(5e5),
+            horizon_ns=ms(1.0), seed=7)
+        path = str(tmp_path / "trace.jsonl")
+        original.save(path)
+        loaded = RequestTrace.load(path)
+        assert len(loaded) == len(original)
+        assert loaded.entries == original.entries
+
+
+class TestReplay:
+    def test_replay_preserves_arrival_times(self):
+        sim = Simulator()
+        metrics = MetricsCollector(sim)
+        trace = _simple_trace(n=3, gap=us(10.0))
+        seen = []
+        replayer = TraceReplayer(sim, seen.append, trace, metrics)
+        replayer.start()
+        sim.run()
+        assert [r.arrival_ns for r in seen] == \
+            [us(10.0), us(20.0), us(30.0)]
+        assert replayer.replayed == 3
+        assert metrics.generated == 3
+
+    def test_replay_preserves_identities(self):
+        sim = Simulator()
+        metrics = MetricsCollector(sim)
+        trace = _simple_trace(n=2)
+        seen = []
+        replayer = TraceReplayer(sim, seen.append, trace, metrics)
+        replayer.start()
+        sim.run()
+        assert seen[0].src_port == 40000
+        assert seen[1].src_port == 40001
+        assert all(r.service_ns == 500.0 for r in seen)
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        metrics = MetricsCollector(sim)
+        replayer = TraceReplayer(sim, lambda r: None, _simple_trace(),
+                                 metrics)
+        replayer.start()
+        with pytest.raises(WorkloadError):
+            replayer.start()
+
+    def test_identical_stream_to_two_systems(self):
+        """The common-random-numbers property: two replays of one trace
+        generate byte-identical request streams."""
+        def replay_once():
+            sim = Simulator()
+            metrics = MetricsCollector(sim)
+            trace = RequestTrace.record(
+                Bimodal(us(1.0), us(50.0), 0.2), PoissonArrivals(3e5),
+                horizon_ns=ms(1.0), seed=5)
+            seen = []
+            TraceReplayer(sim, seen.append, trace, metrics).start()
+            sim.run()
+            return [(r.arrival_ns, r.service_ns, r.src_port)
+                    for r in seen]
+
+        assert replay_once() == replay_once()
