@@ -19,9 +19,9 @@ from repro.experiments.figures import figure3
 from repro.experiments.report import render_figure
 
 
-def test_figure3_outstanding(benchmark, run_config, scale):
+def test_figure3_outstanding(benchmark, run_config, scale, executor):
     result = benchmark.pedantic(
-        lambda: figure3(config=run_config, scale=scale),
+        lambda: figure3(config=run_config, scale=scale, executor=executor),
         rounds=1, iterations=1)
     emit(render_figure(result))
 

@@ -14,9 +14,9 @@ from repro.experiments.figures import figure4
 from repro.experiments.report import render_figure
 
 
-def test_figure4_fixed_5us(benchmark, run_config, scale):
+def test_figure4_fixed_5us(benchmark, run_config, scale, executor):
     result = benchmark.pedantic(
-        lambda: figure4(config=run_config, scale=scale),
+        lambda: figure4(config=run_config, scale=scale, executor=executor),
         rounds=1, iterations=1)
     emit(render_figure(result))
 

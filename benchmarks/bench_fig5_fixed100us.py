@@ -15,9 +15,9 @@ from repro.experiments.figures import figure5
 from repro.experiments.report import render_figure
 
 
-def test_figure5_fixed_100us(benchmark, run_config, scale):
+def test_figure5_fixed_100us(benchmark, run_config, scale, executor):
     result = benchmark.pedantic(
-        lambda: figure5(config=run_config, scale=scale),
+        lambda: figure5(config=run_config, scale=scale, executor=executor),
         rounds=1, iterations=1)
     emit(render_figure(result))
 

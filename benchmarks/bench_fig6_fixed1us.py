@@ -16,9 +16,9 @@ from repro.experiments.figures import figure6
 from repro.experiments.report import render_figure
 
 
-def test_figure6_fixed_1us(benchmark, run_config, scale):
+def test_figure6_fixed_1us(benchmark, run_config, scale, executor):
     result = benchmark.pedantic(
-        lambda: figure6(config=run_config, scale=scale),
+        lambda: figure6(config=run_config, scale=scale, executor=executor),
         rounds=1, iterations=1)
     emit(render_figure(result))
 

@@ -4,20 +4,35 @@ Every ``bench_fig*.py`` regenerates one paper figure at full scale and
 prints the same series the paper plots.  ``REPRO_BENCH_SCALE`` (a float
 env var, default 0.6) scales simulation horizons: 1.0 gives the
 smoothest curves, smaller values run faster with more sampling noise.
+
+``REPRO_BENCH_JOBS`` (int, default 1) fans sweep points across that
+many worker processes, and ``REPRO_BENCH_CACHE_DIR`` (a path, default
+unset) caches point results on disk so re-running a bench skips
+already-measured points.  Results are bit-identical in every mode.
 """
 
 from __future__ import annotations
 
 import os
 import sys
+from typing import Optional
 
 import pytest
 
+from repro.experiments.executor import SweepExecutor, make_executor
 from repro.experiments.harness import RunConfig
 
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+
+
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def bench_cache_dir() -> Optional[str]:
+    return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +44,16 @@ def run_config() -> RunConfig:
 @pytest.fixture(scope="session")
 def scale() -> float:
     return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def executor() -> Optional[SweepExecutor]:
+    """A shared sweep executor, or None when running plain serial."""
+    jobs = bench_jobs()
+    cache_dir = bench_cache_dir()
+    if jobs <= 1 and cache_dir is None:
+        return None
+    return make_executor(jobs=jobs, cache_dir=cache_dir)
 
 
 def emit(text: str) -> None:

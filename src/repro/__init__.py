@@ -109,6 +109,14 @@ from repro.experiments import (
     load_sweep,
     measure_capacity,
     find_saturation,
+    SaturationResult,
+    ConfiguredFactory,
+    PointSpec,
+    ResultCache,
+    SerialExecutor,
+    ParallelExecutor,
+    SweepExecutor,
+    make_executor,
     figure2,
     figure3,
     figure4,
@@ -146,6 +154,9 @@ __all__ = [
     "mg1_mean_sojourn_ns",
     # experiments
     "RunConfig", "run_point", "load_sweep", "measure_capacity",
-    "find_saturation", "figure2", "figure3", "figure4", "figure5",
+    "find_saturation", "SaturationResult", "ConfiguredFactory",
+    "PointSpec", "ResultCache", "SerialExecutor", "ParallelExecutor",
+    "SweepExecutor", "make_executor",
+    "figure2", "figure3", "figure4", "figure5",
     "figure6", "table_t1", "render_figure", "render_t1",
 ]

@@ -6,6 +6,8 @@ terminal::
     repro list                 # what's available
     repro fig2                 # Figure 2 at full scale
     repro fig6 --scale 0.5     # quicker, noisier
+    repro fig2 --jobs 4        # fan points across 4 worker processes
+    repro fig2 --cache-dir ~/.repro-cache   # reuse measured points
     repro table-t1             # in-text claims, paper vs measured
     repro all                  # everything (several minutes)
 """
@@ -17,9 +19,15 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.errors import ExperimentError
+from repro.experiments.executor import SweepExecutor, make_executor
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.harness import RunConfig
-from repro.experiments.report import render_figure, render_t1
+from repro.experiments.report import (
+    render_executor_stats,
+    render_figure,
+    render_t1,
+)
 from repro.experiments.tables import table_t1
 from repro.version import __version__
 
@@ -43,12 +51,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    def add_executor_args(cmd_parser: argparse.ArgumentParser) -> None:
+        cmd_parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for sweep points (1 = serial; "
+                 "results are bit-identical either way)")
+        cmd_parser.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="on-disk result cache; re-runs skip already-measured "
+                 "points")
+
     for fig_id, description in _FIGURE_DESCRIPTIONS.items():
         fig_parser = sub.add_parser(fig_id, help=description)
         fig_parser.add_argument(
             "--scale", type=float, default=1.0,
             help="horizon scale factor (smaller = faster, noisier)")
         fig_parser.add_argument("--seed", type=int, default=42)
+        add_executor_args(fig_parser)
 
     t1_parser = sub.add_parser(
         "table-t1", help="in-text quantitative claims, paper vs measured")
@@ -57,14 +76,28 @@ def _build_parser() -> argparse.ArgumentParser:
     all_parser = sub.add_parser("all", help="every figure plus table T1")
     all_parser.add_argument("--scale", type=float, default=1.0)
     all_parser.add_argument("--seed", type=int, default=42)
+    add_executor_args(all_parser)
     return parser
 
 
-def _run_figure(fig_id: str, scale: float, seed: int) -> None:
+def _run_figure(fig_id: str, scale: float, seed: int,
+                executor: Optional[SweepExecutor] = None) -> None:
     start = time.time()
-    figure = ALL_FIGURES[fig_id](config=RunConfig(seed=seed), scale=scale)
+    figure = ALL_FIGURES[fig_id](config=RunConfig(seed=seed), scale=scale,
+                                 executor=executor)
     print(render_figure(figure))
+    if executor is not None:
+        print(render_executor_stats(executor.stats, jobs=executor.jobs))
     print(f"[{fig_id} regenerated in {time.time() - start:.1f}s]")
+
+
+def _make_executor(args: argparse.Namespace) -> Optional[SweepExecutor]:
+    """The executor the flags ask for, or None for the plain path."""
+    jobs = getattr(args, "jobs", 1)
+    cache_dir = getattr(args, "cache_dir", None)
+    if jobs <= 1 and cache_dir is None:
+        return None
+    return make_executor(jobs=jobs, cache_dir=cache_dir)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -82,13 +115,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_t1(table_t1(RunConfig(seed=args.seed))))
         return 0
     if args.command == "all":
+        try:
+            executor = _make_executor(args)
+        except ExperimentError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
         for fig_id in _FIGURE_DESCRIPTIONS:
-            _run_figure(fig_id, args.scale, args.seed)
+            _run_figure(fig_id, args.scale, args.seed, executor)
             print()
         print(render_t1(table_t1(RunConfig(seed=args.seed))))
         return 0
     if args.command in ALL_FIGURES:
-        _run_figure(args.command, args.scale, args.seed)
+        try:
+            executor = _make_executor(args)
+        except ExperimentError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
+        _run_figure(args.command, args.scale, args.seed, executor)
         return 0
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises

@@ -1,0 +1,402 @@
+"""Pluggable sweep execution: serial, process-parallel, and cached.
+
+Every figure and study in this repro bottoms out in ``run_point`` calls
+that each build a fresh, independently seeded :class:`Simulator` — so
+points are embarrassingly parallel, and identical inputs always produce
+identical :class:`RunMetrics`.  This module exploits both facts:
+
+- :class:`SerialExecutor` runs points in-process, in order (the
+  historical behavior and the default everywhere);
+- :class:`ParallelExecutor` fans points out across worker processes via
+  :class:`concurrent.futures.ProcessPoolExecutor`, returning results in
+  submission order regardless of completion order;
+- :class:`ResultCache` is an on-disk content-addressed store keyed by a
+  stable SHA-256 over (system name, factory fingerprint, offered rate,
+  distribution parameters, :class:`RunConfig`), so re-running a figure
+  or resuming an interrupted sweep skips already-measured points.
+
+Determinism is the contract that makes all of this safe; the
+differential suite in ``tests/integration/test_executor_equivalence.py``
+enforces bit-identical serial/parallel/cached results for every system.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import (
+    RunConfig,
+    SystemFactory,
+    run_point_with_events,
+)
+from repro.metrics.summary import LatencySummary, RunMetrics, ThroughputSummary
+from repro.workload.distributions import ServiceTimeDistribution
+
+#: Bump when the cache key payload or the stored schema changes shape;
+#: old entries then simply miss instead of deserializing wrongly.
+CACHE_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# Point specifications and cache keys
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One (system, rate) point, fully specified and self-contained.
+
+    A spec is the unit handed to executors: everything needed to run the
+    point in any process, plus the identity used for cache lookups.
+    """
+
+    factory: SystemFactory
+    rate_rps: float
+    distribution: ServiceTimeDistribution
+    config: RunConfig
+    #: Display / cache-key name of the system under test.
+    label: str = "system"
+
+
+@dataclass(frozen=True)
+class ConfiguredFactory:
+    """A picklable, fingerprintable system factory.
+
+    All served systems share the ``(sim, rngs, metrics, config=...)``
+    constructor shape, so a (class, config) pair is a complete recipe.
+    Classes pickle by reference and configs are plain dataclasses, which
+    is what lets :class:`ParallelExecutor` ship these to workers; the
+    deterministic dataclass ``repr`` of the config is what lets the
+    cache fingerprint them.
+    """
+
+    system: Type
+    config: Any = None
+
+    def __call__(self, sim, rngs, metrics):
+        if self.config is None:
+            return self.system(sim, rngs, metrics)
+        return self.system(sim, rngs, metrics, config=self.config)
+
+    def cache_token(self) -> str:
+        """Deterministic fingerprint: qualified class plus config repr."""
+        cls = self.system
+        return f"{cls.__module__}.{cls.__qualname__}(config={self.config!r})"
+
+
+def factory_token(factory: SystemFactory) -> Optional[str]:
+    """A stable textual fingerprint of *factory*, or None if opaque.
+
+    Factories advertise cacheability by exposing a ``cache_token()``
+    method (see :class:`ConfiguredFactory`).  Closures and other opaque
+    callables return None: their points always run, never cache —
+    correctness over convenience.
+    """
+    token = getattr(factory, "cache_token", None)
+    if callable(token):
+        return token()
+    return None
+
+
+def spec_cache_key(spec: PointSpec) -> Optional[str]:
+    """Content hash identifying *spec*'s result, or None if uncacheable.
+
+    The payload hashes exact values: floats go in as ``float.hex()`` so
+    two rates that differ in the last ulp never share a key, and the
+    distribution contributes its parameter-bearing ``repr``.
+    """
+    token = factory_token(spec.factory)
+    if token is None:
+        return None
+    config = spec.config
+    payload = json.dumps({
+        "schema": CACHE_SCHEMA,
+        "system": spec.label,
+        "factory": token,
+        "rate_rps": float(spec.rate_rps).hex(),
+        "distribution": repr(spec.distribution),
+        "config": {
+            "seed": config.seed,
+            "horizon_ns": float(config.horizon_ns).hex(),
+            "warmup_ns": float(config.warmup_ns).hex(),
+            "max_events": config.max_events,
+        },
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# RunMetrics <-> JSON (exact float round-trip via repr)
+# ---------------------------------------------------------------------------
+
+def metrics_to_jsonable(metrics: RunMetrics) -> Dict[str, Any]:
+    """A plain-dict image of *metrics* suitable for ``json.dumps``."""
+    return {
+        "latency": (None if metrics.latency is None
+                    else dataclasses.asdict(metrics.latency)),
+        "throughput": dataclasses.asdict(metrics.throughput),
+        "preemptions": metrics.preemptions,
+        "mean_slowdown": metrics.mean_slowdown,
+        "worker_wait_fraction": metrics.worker_wait_fraction,
+    }
+
+
+def metrics_from_jsonable(data: Dict[str, Any]) -> RunMetrics:
+    """Rebuild the exact :class:`RunMetrics` stored by
+    :func:`metrics_to_jsonable`."""
+    latency = (None if data["latency"] is None
+               else LatencySummary(**data["latency"]))
+    return RunMetrics(
+        latency=latency,
+        throughput=ThroughputSummary(**data["throughput"]),
+        preemptions=data["preemptions"],
+        mean_slowdown=data["mean_slowdown"],
+        worker_wait_fraction=data["worker_wait_fraction"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Content-addressed store of point results under one directory.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — two-level fanout keeps
+    directories small for big sweeps.  Writes are atomic (tempfile +
+    rename) so interrupted runs never leave half-written entries, and
+    corrupt or schema-mismatched entries read as misses.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ExperimentError(
+                f"cache dir {self.root} exists and is not a directory") \
+                from exc
+
+    def path_for(self, key: str) -> Path:
+        """Where *key*'s entry lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunMetrics]:
+        """The cached metrics for *key*, or None on any kind of miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("schema") != CACHE_SCHEMA:
+                return None
+            return metrics_from_jsonable(entry["metrics"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, metrics: RunMetrics) -> None:
+        """Store *metrics* under *key*, atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"schema": CACHE_SCHEMA, "metrics": metrics_to_jsonable(metrics)})
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExecutorStats:
+    """Tallies across every ``run_points`` call on one executor."""
+
+    points_total: int = 0
+    #: Points actually simulated (cache misses or uncacheable).
+    points_run: int = 0
+    #: Points served straight from the cache.
+    points_cached: int = 0
+    #: Simulator events executed across all fresh runs (0 on a fully
+    #: cached re-run — the "no simulation happened" witness).
+    events_executed: int = 0
+
+    def reset(self) -> None:
+        """Zero every tally (fresh measurement window)."""
+        self.points_total = 0
+        self.points_run = 0
+        self.points_cached = 0
+        self.events_executed = 0
+
+
+def _execute_spec(spec: PointSpec) -> Tuple[RunMetrics, int]:
+    """Worker entry point: run one spec, return (metrics, events)."""
+    return run_point_with_events(spec.factory, spec.rate_rps,
+                                 spec.distribution, spec.config)
+
+
+class SweepExecutor:
+    """Base executor: cache orchestration plus in-process execution.
+
+    Subclasses override :meth:`_run_specs` to change *where* cache
+    misses run; ordering and cache semantics live here so every
+    executor shares them exactly.
+    """
+
+    #: Worker parallelism (1 for serial; informational for reporting).
+    jobs: int = 1
+
+    def __init__(self, cache: Optional[ResultCache] = None):
+        self.cache = cache
+        self.stats = ExecutorStats()
+
+    def run_points(self, specs: Sequence[PointSpec]) -> List[RunMetrics]:
+        """Run every spec, returning metrics in the order given.
+
+        Cached points are served without simulating; the rest run via
+        :meth:`_run_specs`.  Each fresh point is written back to the
+        cache the moment it completes — not at the end of the batch —
+        so an interrupted sweep resumes from every finished point.
+        """
+        specs = list(specs)
+        self.stats.points_total += len(specs)
+        results: List[Optional[RunMetrics]] = [None] * len(specs)
+        misses: List[int] = []
+        keys: List[Optional[str]] = [None] * len(specs)
+        for i, spec in enumerate(specs):
+            key = spec_cache_key(spec) if self.cache is not None else None
+            keys[i] = key
+            hit = self.cache.get(key) if key is not None else None
+            if hit is not None:
+                results[i] = hit
+                self.stats.points_cached += 1
+            else:
+                misses.append(i)
+
+        def record(batch_index: int, outcome: Tuple[RunMetrics, int]) -> None:
+            i = misses[batch_index]
+            metrics, events = outcome
+            results[i] = metrics
+            self.stats.points_run += 1
+            self.stats.events_executed += events
+            if self.cache is not None and keys[i] is not None:
+                self.cache.put(keys[i], metrics)
+
+        if misses:
+            self._run_specs([specs[i] for i in misses], record)
+        return [result for result in results if result is not None]
+
+    def run_point(self, spec: PointSpec) -> RunMetrics:
+        """Convenience wrapper for a single point."""
+        return self.run_points([spec])[0]
+
+    def _run_specs(self, specs: Sequence[PointSpec],
+                   record: Callable[[int, Tuple[RunMetrics, int]], None],
+                   ) -> None:
+        """Run *specs*, reporting each ``(index, outcome)`` as it lands."""
+        for j, spec in enumerate(specs):
+            record(j, _execute_spec(spec))
+
+
+class SerialExecutor(SweepExecutor):
+    """The historical behavior: every point in this process, in order."""
+
+
+class ParallelExecutor(SweepExecutor):
+    """Fan points across worker processes; results stay in spec order.
+
+    Specs that cannot be pickled (closure factories, ad-hoc callables)
+    transparently run in the parent process instead — parallelism is an
+    optimization, never a constraint on what callers may pass.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        super().__init__(cache=cache)
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1: {jobs}")
+        self.jobs = jobs
+
+    @staticmethod
+    def _picklable(spec: PointSpec) -> bool:
+        try:
+            pickle.dumps(spec)
+            return True
+        except Exception:
+            return False
+
+    def _run_specs(self, specs: Sequence[PointSpec],
+                   record: Callable[[int, Tuple[RunMetrics, int]], None],
+                   ) -> None:
+        remote = [i for i, spec in enumerate(specs) if self._picklable(spec)]
+        if len(remote) > 1 and self.jobs > 1:
+            workers = min(self.jobs, len(remote))
+            pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+            try:
+                futures = {pool.submit(_execute_spec, specs[i]): i
+                           for i in remote}
+                for future in concurrent.futures.as_completed(futures):
+                    record(futures[future], future.result())
+                pool.shutdown(wait=True)
+            except BaseException:
+                # On Ctrl-C (or a worker crash) don't join interrupted
+                # workers — shutdown(wait=True) can hang forever; drop
+                # pending work and surface the interrupt immediately.
+                # Every completed point has already been recorded (and
+                # cached), so a re-run resumes from them.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        else:
+            for i in remote:
+                record(i, _execute_spec(specs[i]))
+        # Unpicklable stragglers run in-process, after the fan-out.
+        fanned_out = set(remote)
+        for i, spec in enumerate(specs):
+            if i not in fanned_out:
+                record(i, _execute_spec(spec))
+
+
+def make_executor(jobs: int = 1,
+                  cache_dir: Optional[Union[str, Path]] = None) -> SweepExecutor:
+    """Build the executor the CLI/benches ask for.
+
+    ``jobs <= 1`` gives a :class:`SerialExecutor`; more gives a
+    :class:`ParallelExecutor`.  ``cache_dir`` (optional) enables the
+    on-disk result cache in either case.
+    """
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    if jobs <= 1:
+        return SerialExecutor(cache=cache)
+    return ParallelExecutor(jobs=jobs, cache=cache)

@@ -21,15 +21,13 @@ from repro.config import (
     ShinjukuConfig,
     ShinjukuOffloadConfig,
 )
+from repro.experiments.executor import ConfiguredFactory, SweepExecutor
 from repro.experiments.harness import (
     LoadSweepResult,
     RunConfig,
     load_sweep,
     measure_capacity,
 )
-from repro.metrics.collector import MetricsCollector
-from repro.sim.engine import Simulator
-from repro.sim.rng import RngRegistry
 from repro.systems.shinjuku import ShinjukuSystem
 from repro.systems.shinjuku_offload import ShinjukuOffloadSystem
 from repro.units import us
@@ -65,27 +63,29 @@ class FigureResult:
     sweeps: List[LoadSweepResult] = field(default_factory=list)
 
 
-def _shinjuku_factory(config: ShinjukuConfig):
-    def make(sim: Simulator, rngs: RngRegistry, metrics: MetricsCollector):
-        return ShinjukuSystem(sim, rngs, metrics, config=config)
-    return make
+def _shinjuku_factory(config: ShinjukuConfig) -> ConfiguredFactory:
+    # Picklable + fingerprintable, so figure sweeps can fan out across
+    # worker processes and land in the result cache.
+    return ConfiguredFactory(ShinjukuSystem, config)
 
 
-def _offload_factory(config: ShinjukuOffloadConfig):
-    def make(sim: Simulator, rngs: RngRegistry, metrics: MetricsCollector):
-        return ShinjukuOffloadSystem(sim, rngs, metrics, config=config)
-    return make
+def _offload_factory(config: ShinjukuOffloadConfig) -> ConfiguredFactory:
+    return ConfiguredFactory(ShinjukuOffloadSystem, config)
 
 
 def _sweep_pair(shinjuku_config: ShinjukuConfig,
                 offload_config: ShinjukuOffloadConfig,
                 distribution, rates: Sequence[float],
-                config: RunConfig) -> Tuple[LoadSweepResult, LoadSweepResult]:
+                config: RunConfig,
+                executor: Optional[SweepExecutor] = None,
+                ) -> Tuple[LoadSweepResult, LoadSweepResult]:
     shinjuku = load_sweep(_shinjuku_factory(shinjuku_config), rates,
-                          distribution, config, system_name="Shinjuku")
+                          distribution, config, system_name="Shinjuku",
+                          executor=executor)
     offload = load_sweep(_offload_factory(offload_config), rates,
                          distribution, config,
-                         system_name="Shinjuku-Offload")
+                         system_name="Shinjuku-Offload",
+                         executor=executor)
     return shinjuku, offload
 
 
@@ -105,7 +105,8 @@ def _to_figure(figure_id: str, title: str, notes: str,
 # ---------------------------------------------------------------------------
 
 def figure2(config: RunConfig = RunConfig(), scale: float = 1.0,
-            rates: Optional[Sequence[float]] = None) -> FigureResult:
+            rates: Optional[Sequence[float]] = None,
+            executor: Optional[SweepExecutor] = None) -> FigureResult:
     """Tail latency vs throughput for the Figure 2 bimodal workload.
 
     "Shinjuku has 3 workers and Shinjuku-Offload has 4 (up to 4
@@ -118,7 +119,7 @@ def figure2(config: RunConfig = RunConfig(), scale: float = 1.0,
         ShinjukuConfig(workers=3, preemption=SLICE_10US),
         ShinjukuOffloadConfig(workers=4, outstanding_per_worker=4,
                               preemption=SLICE_10US),
-        BIMODAL_FIG2, rates, run_config)
+        BIMODAL_FIG2, rates, run_config, executor=executor)
     return _to_figure(
         "fig2",
         "99.5% 5us / 0.5% 100us bimodal; slice 10us; 3 vs 4 workers",
@@ -134,27 +135,43 @@ def figure2(config: RunConfig = RunConfig(), scale: float = 1.0,
 def figure3(config: RunConfig = RunConfig(), scale: float = 1.0,
             outstanding: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
             worker_counts: Sequence[int] = (16, 4),
-            overload_rps: float = 2.5e6) -> FigureResult:
+            overload_rps: float = 2.5e6,
+            executor: Optional[SweepExecutor] = None) -> FigureResult:
     """Offload saturation throughput vs outstanding requests per worker.
 
     "Fixed 1 µs service time.  Shinjuku-Offload [with 4 and 16
     workers]" — preemption off, overload offered, plateau measured.
     """
     run_config = config.scaled(scale)
+    grid = [(workers, k) for workers in worker_counts for k in outstanding]
+    factories = {
+        (workers, k): _offload_factory(ShinjukuOffloadConfig(
+            workers=workers, outstanding_per_worker=k,
+            preemption=NO_PREEMPTION))
+        for workers, k in grid}
+    if executor is None:
+        capacities = {
+            cell: measure_capacity(factories[cell], Fixed(us(1.0)),
+                                   overload_rps=overload_rps,
+                                   config=run_config)
+            for cell in grid}
+    else:
+        # One batch for the whole grid, so a parallel executor fans the
+        # cells out instead of seeing seven single-point sweeps.
+        from repro.experiments.executor import PointSpec
+        specs = [PointSpec(factory=factories[cell], rate_rps=overload_rps,
+                           distribution=Fixed(us(1.0)), config=run_config,
+                           label=f"Shinjuku-Offload/{cell[0]}w")
+                 for cell in grid]
+        results = executor.run_points(specs)
+        capacities = {cell: metrics.throughput.achieved_rps
+                      for cell, metrics in zip(grid, results)}
     series: List[FigureSeries] = []
     for workers in worker_counts:
-        ys = []
-        for k in outstanding:
-            offload_config = ShinjukuOffloadConfig(
-                workers=workers, outstanding_per_worker=k,
-                preemption=NO_PREEMPTION)
-            capacity = measure_capacity(
-                _offload_factory(offload_config), Fixed(us(1.0)),
-                overload_rps=overload_rps, config=run_config)
-            ys.append(capacity / 1e5)
         series.append(FigureSeries(
             label=f"{workers} workers", xs=[float(k) for k in outstanding],
-            ys=ys, x_label="outstanding requests",
+            ys=[capacities[(workers, k)] / 1e5 for k in outstanding],
+            x_label="outstanding requests",
             y_label="throughput (100k RPS)"))
     return FigureResult(
         "fig3", "Fixed 1us; Shinjuku-Offload throughput vs outstanding",
@@ -169,7 +186,8 @@ def figure3(config: RunConfig = RunConfig(), scale: float = 1.0,
 # ---------------------------------------------------------------------------
 
 def figure4(config: RunConfig = RunConfig(), scale: float = 1.0,
-            rates: Optional[Sequence[float]] = None) -> FigureResult:
+            rates: Optional[Sequence[float]] = None,
+            executor: Optional[SweepExecutor] = None) -> FigureResult:
     """Tail vs throughput at fixed 5 µs (§4.1's second workload)."""
     run_config = config.scaled(scale)
     if rates is None:
@@ -179,7 +197,7 @@ def figure4(config: RunConfig = RunConfig(), scale: float = 1.0,
         ShinjukuConfig(workers=3, preemption=NO_PREEMPTION),
         ShinjukuOffloadConfig(workers=4, outstanding_per_worker=4,
                               preemption=NO_PREEMPTION),
-        Fixed(us(5.0)), rates, run_config)
+        Fixed(us(5.0)), rates, run_config, executor=executor)
     return _to_figure(
         "fig4", "Fixed 5us; no preemption; 3 vs 4 workers",
         "Expected shape: Offload outperforms - its extra worker is the "
@@ -192,7 +210,8 @@ def figure4(config: RunConfig = RunConfig(), scale: float = 1.0,
 # ---------------------------------------------------------------------------
 
 def figure5(config: RunConfig = RunConfig(), scale: float = 1.0,
-            rates: Optional[Sequence[float]] = None) -> FigureResult:
+            rates: Optional[Sequence[float]] = None,
+            executor: Optional[SweepExecutor] = None) -> FigureResult:
     """Tail vs throughput at fixed 100 µs (§4.1's third workload)."""
     # Long services need a longer window for stable p99s.
     run_config = config.scaled(scale * 4.0)
@@ -202,7 +221,7 @@ def figure5(config: RunConfig = RunConfig(), scale: float = 1.0,
         ShinjukuConfig(workers=15, preemption=NO_PREEMPTION),
         ShinjukuOffloadConfig(workers=16, outstanding_per_worker=2,
                               preemption=NO_PREEMPTION),
-        Fixed(us(100.0)), rates, run_config)
+        Fixed(us(100.0)), rates, run_config, executor=executor)
     return _to_figure(
         "fig5", "Fixed 100us; 15 vs 16 workers (<=2 outstanding)",
         "Expected shape: Offload wins at large service times - "
@@ -215,7 +234,8 @@ def figure5(config: RunConfig = RunConfig(), scale: float = 1.0,
 # ---------------------------------------------------------------------------
 
 def figure6(config: RunConfig = RunConfig(), scale: float = 1.0,
-            rates: Optional[Sequence[float]] = None) -> FigureResult:
+            rates: Optional[Sequence[float]] = None,
+            executor: Optional[SweepExecutor] = None) -> FigureResult:
     """Tail vs throughput at fixed 1 µs — the bottleneck figure (§5.1)."""
     run_config = config.scaled(scale)
     if rates is None:
@@ -225,7 +245,7 @@ def figure6(config: RunConfig = RunConfig(), scale: float = 1.0,
         ShinjukuConfig(workers=15, preemption=NO_PREEMPTION),
         ShinjukuOffloadConfig(workers=16, outstanding_per_worker=5,
                               preemption=NO_PREEMPTION),
-        Fixed(us(1.0)), rates, run_config)
+        Fixed(us(1.0)), rates, run_config, executor=executor)
     return _to_figure(
         "fig6", "Fixed 1us; 15 vs 16 workers (<=5 outstanding)",
         "Expected shape: Shinjuku greatly outperforms - the ARM "

@@ -8,7 +8,15 @@ independently seeded universe.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ExperimentError
 from repro.metrics.collector import MetricsCollector
@@ -20,6 +28,9 @@ from repro.units import ms
 from repro.workload.arrivals import PoissonArrivals
 from repro.workload.distributions import ServiceTimeDistribution
 from repro.workload.generator import ClientPool, OpenLoopLoadGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.executor import SweepExecutor
 
 SystemFactory = Callable[[Simulator, RngRegistry, MetricsCollector], BaseSystem]
 
@@ -87,7 +98,15 @@ class LoadSweepResult:
         return [p.p99_ns / 1e3 for p in self.points]
 
     def saturation_rps(self, efficiency: float = 0.95) -> float:
-        """Highest offered rate still served at *efficiency* of offered."""
+        """Highest offered rate still served at *efficiency* of offered.
+
+        An empty sweep returns NaN ("never measured"); a sweep whose
+        every point misses the efficiency bar returns 0.0 ("saturates
+        below the lowest offered rate").  The two used to be
+        indistinguishable.
+        """
+        if not self.points:
+            return float("nan")
         best = 0.0
         for point in self.points:
             if point.achieved_rps >= efficiency * point.offered_rps:
@@ -99,11 +118,16 @@ class LoadSweepResult:
         return max((p.achieved_rps for p in self.points), default=0.0)
 
 
-def run_point(factory: SystemFactory, rate_rps: float,
-              distribution: ServiceTimeDistribution,
-              config: RunConfig = RunConfig(),
-              clients: Optional[ClientPool] = None) -> RunMetrics:
-    """Run one (system, rate) point and return its metrics."""
+def run_point_with_events(factory: SystemFactory, rate_rps: float,
+                          distribution: ServiceTimeDistribution,
+                          config: RunConfig = RunConfig(),
+                          clients: Optional[ClientPool] = None,
+                          ) -> Tuple[RunMetrics, int]:
+    """Run one point and return (metrics, simulator events executed).
+
+    The event count is what executors aggregate to prove a cached
+    re-run did no simulation work.
+    """
     if rate_rps <= 0:
         raise ExperimentError(f"rate must be positive: {rate_rps}")
     sim = Simulator()
@@ -121,34 +145,98 @@ def run_point(factory: SystemFactory, rate_rps: float,
     # with perpetual housekeeping processes (rebalancers, advertisers)
     # terminate cleanly.
     sim.run(until=config.horizon_ns, max_events=config.max_events)
-    return metrics.summarize(offered_rps=rate_rps)
+    return metrics.summarize(offered_rps=rate_rps), sim.event_count
+
+
+def run_point(factory: SystemFactory, rate_rps: float,
+              distribution: ServiceTimeDistribution,
+              config: RunConfig = RunConfig(),
+              clients: Optional[ClientPool] = None) -> RunMetrics:
+    """Run one (system, rate) point and return its metrics."""
+    metrics, _events = run_point_with_events(factory, rate_rps, distribution,
+                                             config, clients)
+    return metrics
+
+
+def _run_batch(factory: SystemFactory, rates_rps: Sequence[float],
+               distribution: ServiceTimeDistribution, config: RunConfig,
+               system_name: str,
+               executor: Optional["SweepExecutor"]) -> List[RunMetrics]:
+    """One metrics list for *rates_rps*, via *executor* when given."""
+    if executor is None:
+        return [run_point(factory, rate, distribution, config)
+                for rate in rates_rps]
+    from repro.experiments.executor import PointSpec
+    specs = [PointSpec(factory=factory, rate_rps=rate,
+                       distribution=distribution, config=config,
+                       label=system_name)
+             for rate in rates_rps]
+    return executor.run_points(specs)
 
 
 def load_sweep(factory: SystemFactory, rates_rps: Sequence[float],
                distribution: ServiceTimeDistribution,
                config: RunConfig = RunConfig(),
-               system_name: str = "system") -> LoadSweepResult:
-    """Run *factory* at each offered rate; one fresh simulator each."""
+               system_name: str = "system",
+               executor: Optional["SweepExecutor"] = None) -> LoadSweepResult:
+    """Run *factory* at each offered rate; one fresh simulator each.
+
+    With an *executor*, points may run in parallel worker processes
+    and/or be served from its result cache; ``points`` stay in
+    offered-rate order either way.
+    """
     if not rates_rps:
         raise ExperimentError("empty rate list")
-    points = [
-        SweepPoint(offered_rps=rate,
-                   metrics=run_point(factory, rate, distribution, config))
-        for rate in rates_rps]
+    all_metrics = _run_batch(factory, rates_rps, distribution, config,
+                             system_name, executor)
+    points = [SweepPoint(offered_rps=rate, metrics=metrics)
+              for rate, metrics in zip(rates_rps, all_metrics)]
     return LoadSweepResult(system_name=system_name, points=points)
 
 
 def measure_capacity(factory: SystemFactory,
                      distribution: ServiceTimeDistribution,
                      overload_rps: float,
-                     config: RunConfig = RunConfig()) -> float:
+                     config: RunConfig = RunConfig(),
+                     system_name: str = "system",
+                     executor: Optional["SweepExecutor"] = None) -> float:
     """Achieved throughput under heavy overload — the plateau value.
 
     This is how Figure 3's y-axis is measured: offer far more than the
     system can serve and report what actually completes.
     """
-    metrics = run_point(factory, overload_rps, distribution, config)
+    metrics = _run_batch(factory, [overload_rps], distribution, config,
+                         system_name, executor)[0]
     return metrics.throughput.achieved_rps
+
+
+class SaturationResult(float):
+    """The saturation knee, plus every point probed on the way there.
+
+    Compares and arithmetics as a plain float (the knee rate), so
+    existing callers are untouched; ``probes`` maps each bisection
+    midpoint's offered rate to its full :class:`RunMetrics`, in probe
+    order, so callers and caches can reuse the measurements instead of
+    re-running them.
+    """
+
+    probes: Dict[float, RunMetrics]
+
+    def __new__(cls, rate: float,
+                probes: Optional[Dict[float, RunMetrics]] = None
+                ) -> "SaturationResult":
+        result = super().__new__(cls, rate)
+        result.probes = dict(probes or {})
+        return result
+
+    @property
+    def rate_rps(self) -> float:
+        """The knee rate as a plain float."""
+        return float(self)
+
+    def __repr__(self) -> str:
+        return (f"SaturationResult({float(self)!r}, "
+                f"probes={len(self.probes)} points)")
 
 
 def find_saturation(factory: SystemFactory,
@@ -156,22 +244,29 @@ def find_saturation(factory: SystemFactory,
                     lo_rps: float, hi_rps: float,
                     config: RunConfig = RunConfig(),
                     efficiency: float = 0.95,
-                    iterations: int = 7) -> float:
+                    iterations: int = 7,
+                    system_name: str = "system",
+                    executor: Optional["SweepExecutor"] = None,
+                    ) -> SaturationResult:
     """Binary-search the saturation knee between *lo_rps* and *hi_rps*.
 
     Returns the highest rate at which the system still completes at
-    least *efficiency* of offered load.
+    least *efficiency* of offered load, as a :class:`SaturationResult`
+    carrying every probed point's metrics (they used to be discarded).
     """
     if not 0 < lo_rps < hi_rps:
         raise ExperimentError(f"need 0 < lo < hi, got {lo_rps}, {hi_rps}")
     best = 0.0
     lo, hi = lo_rps, hi_rps
+    probes: Dict[float, RunMetrics] = {}
     for _ in range(iterations):
         mid = (lo + hi) / 2.0
-        metrics = run_point(factory, mid, distribution, config)
+        metrics = _run_batch(factory, [mid], distribution, config,
+                             system_name, executor)[0]
+        probes[mid] = metrics
         if metrics.throughput.achieved_rps >= efficiency * mid:
             best = mid
             lo = mid
         else:
             hi = mid
-    return best
+    return SaturationResult(best, probes)

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from repro.experiments.executor import ExecutorStats
 from repro.experiments.figures import FigureResult
 from repro.experiments.tables import TableRow
 from repro.metrics.summary import RunMetrics
@@ -61,6 +62,13 @@ def render_t1(rows: Iterable[TableRow]) -> str:
     return render_table(
         ["id", "claim", "paper", "measured", "unit", "ref"], body,
         title="== Table T1: in-text quantitative claims ==")
+
+
+def render_executor_stats(stats: ExecutorStats, jobs: int = 1) -> str:
+    """One-line summary of where a run's points came from."""
+    return (f"[executor: jobs={jobs} points={stats.points_total} "
+            f"run={stats.points_run} cached={stats.points_cached} "
+            f"events={stats.events_executed}]")
 
 
 def render_run(name: str, metrics: RunMetrics) -> str:

@@ -10,12 +10,15 @@ downstream studies that want to probe calibration robustness (e.g.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments.harness import RunConfig, SystemFactory, run_point
 from repro.metrics.summary import RunMetrics
 from repro.workload.distributions import ServiceTimeDistribution
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.executor import SweepExecutor
 
 
 @dataclass(frozen=True)
@@ -78,7 +81,9 @@ def sweep_parameter(parameter: str, values: Sequence[Any],
                     factory_for: Callable[[Any], SystemFactory],
                     rate_rps: float,
                     distribution: ServiceTimeDistribution,
-                    config: Optional[RunConfig] = None) -> SensitivityResult:
+                    config: Optional[RunConfig] = None,
+                    executor: Optional["SweepExecutor"] = None,
+                    ) -> SensitivityResult:
     """Run one point per parameter value.
 
     Parameters
@@ -91,14 +96,25 @@ def sweep_parameter(parameter: str, values: Sequence[Any],
         Maps one value to a system factory (fresh per point).
     rate_rps, distribution, config:
         Shared load conditions across all points.
+    executor:
+        Optional sweep executor: the grid becomes one batch, so points
+        may run in parallel processes and/or hit the result cache.
+        Point order always matches *values* order.
     """
     if not values:
         raise ExperimentError("empty sweep")
     run_config = config if config is not None else RunConfig()
-    points = [
-        SensitivityPoint(
-            value=value,
-            metrics=run_point(factory_for(value), rate_rps, distribution,
-                              run_config))
-        for value in values]
+    if executor is None:
+        all_metrics = [run_point(factory_for(value), rate_rps, distribution,
+                                 run_config)
+                       for value in values]
+    else:
+        from repro.experiments.executor import PointSpec
+        specs = [PointSpec(factory=factory_for(value), rate_rps=rate_rps,
+                           distribution=distribution, config=run_config,
+                           label=f"{parameter}={value!r}")
+                 for value in values]
+        all_metrics = executor.run_points(specs)
+    points = [SensitivityPoint(value=value, metrics=metrics)
+              for value, metrics in zip(values, all_metrics)]
     return SensitivityResult(parameter=parameter, points=points)

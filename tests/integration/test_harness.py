@@ -1,15 +1,20 @@
 """Integration tests for the experiment harness."""
 
+import math
+
 import pytest
 
 from repro.config import PreemptionConfig, ShinjukuConfig
 from repro.errors import ExperimentError
 from repro.experiments.harness import (
+    LoadSweepResult,
     RunConfig,
+    SaturationResult,
     find_saturation,
     load_sweep,
     measure_capacity,
     run_point,
+    run_point_with_events,
 )
 from repro.systems.rpcvalet import RpcValetConfig, RpcValetSystem
 from repro.units import ms, us
@@ -87,6 +92,18 @@ class TestLoadSweep:
         with pytest.raises(ExperimentError):
             load_sweep(_valet_factory(), [], Fixed(1.0), FAST)
 
+    def test_saturation_rps_empty_sweep_is_nan(self):
+        """Never-measured must not masquerade as saturates-at-zero."""
+        empty = LoadSweepResult(system_name="x", points=[])
+        assert math.isnan(empty.saturation_rps())
+
+    def test_saturation_rps_all_unsaturated_is_zero(self):
+        """All points below the efficiency bar: knee is below the
+        lowest offered rate — 0.0, and distinct from the NaN case."""
+        sweep = load_sweep(_valet_factory(workers=2), [2e6, 3e6],
+                           Fixed(us(2.0)), FAST)
+        assert sweep.saturation_rps() == 0.0
+
 
 class TestCapacityAndSaturation:
     def test_measure_capacity_near_analytic(self):
@@ -109,3 +126,30 @@ class TestCapacityAndSaturation:
         with pytest.raises(ExperimentError):
             find_saturation(_valet_factory(), Fixed(1.0), lo_rps=100.0,
                             hi_rps=50.0, config=FAST)
+
+    def test_find_saturation_exposes_probed_points(self):
+        """Regression: bisection metrics used to be measured and then
+        thrown away; they are now carried on the result for reuse."""
+        iterations = 5
+        knee = find_saturation(_valet_factory(workers=2), Fixed(us(2.0)),
+                               lo_rps=50e3, hi_rps=3e6, config=FAST,
+                               iterations=iterations)
+        assert isinstance(knee, SaturationResult)
+        assert isinstance(knee, float)  # old callers unaffected
+        assert len(knee.probes) == iterations
+        # Each probe is the exact RunMetrics a direct run would yield.
+        for rate, metrics in knee.probes.items():
+            assert metrics == run_point(_valet_factory(workers=2), rate,
+                                        Fixed(us(2.0)), FAST)
+        # The knee itself is one of the probed rates (the best passing
+        # midpoint), so callers can look its metrics up directly.
+        assert float(knee) in knee.probes or float(knee) == 0.0
+
+
+class TestRunPointWithEvents:
+    def test_events_reported_and_metrics_match(self):
+        metrics, events = run_point_with_events(
+            _valet_factory(), 100e3, Fixed(us(2.0)), FAST)
+        assert events > 0
+        assert metrics == run_point(_valet_factory(), 100e3,
+                                    Fixed(us(2.0)), FAST)
