@@ -9,6 +9,12 @@ smoothest curves, smaller values run faster with more sampling noise.
 many worker processes, and ``REPRO_BENCH_CACHE_DIR`` (a path, default
 unset) caches point results on disk so re-running a bench skips
 already-measured points.  Results are bit-identical in every mode.
+
+``REPRO_SANITIZE`` (truthy, default unset) runs every point on the
+observation-only sanitizing simulator (see
+``repro.analysis.sanitizer``): clock-monotonicity, queue-accounting,
+and request-conservation invariants are checked live, per-stream RNG
+draws are counted, and the regenerated figures stay bit-identical.
 """
 
 from __future__ import annotations
@@ -19,12 +25,31 @@ from typing import Optional
 
 import pytest
 
+from repro.analysis.sanitizer import SANITIZE_ENV, sanitize_enabled
 from repro.experiments.executor import SweepExecutor, make_executor
 from repro.experiments.harness import RunConfig
 
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+
+
+def bench_sanitize() -> bool:
+    return sanitize_enabled()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def sanitize() -> bool:
+    """Whether this bench session runs sanitized (``REPRO_SANITIZE``).
+
+    When enabled, the env var is normalized to ``"1"`` so executor
+    worker processes inherit a canonical value; the harness reads it
+    directly in whichever process runs each point.
+    """
+    enabled = bench_sanitize()
+    if enabled:
+        os.environ[SANITIZE_ENV] = "1"
+    return enabled
 
 
 def bench_jobs() -> int:

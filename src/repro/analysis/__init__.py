@@ -1,5 +1,16 @@
-"""Analytical queueing models used to validate the simulator."""
+"""Analysis tooling: closed-form queueing models plus the determinism
+gate (static lint + runtime sanitizer) that guards the bit-identical
+reproduction guarantee."""
 
+from repro.analysis.lint import (
+    Baseline,
+    LintResult,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    lint_text,
+    parse_suppressions,
+)
 from repro.analysis.queueing import (
     erlang_c,
     mm1_mean_sojourn_ns,
@@ -7,6 +18,25 @@ from repro.analysis.queueing import (
     mg1_mean_sojourn_ns,
     mm1_sojourn_percentile_ns,
     utilization,
+)
+from repro.analysis.report import (
+    render_result,
+    render_result_json,
+    render_rules,
+)
+from repro.analysis.rules import (
+    ALL_RULES,
+    Finding,
+    Rule,
+    Severity,
+    get_rule,
+)
+from repro.analysis.sanitizer import (
+    CountingRandom,
+    SanitizedRngRegistry,
+    SanitizedSimulator,
+    SanitizerReport,
+    sanitize_enabled,
 )
 
 __all__ = [
@@ -16,4 +46,24 @@ __all__ = [
     "mg1_mean_sojourn_ns",
     "mm1_sojourn_percentile_ns",
     "utilization",
+    "ALL_RULES",
+    "Baseline",
+    "CountingRandom",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "SanitizedRngRegistry",
+    "SanitizedSimulator",
+    "SanitizerReport",
+    "Severity",
+    "get_rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "lint_text",
+    "parse_suppressions",
+    "render_result",
+    "render_result_json",
+    "render_rules",
+    "sanitize_enabled",
 ]

@@ -1,0 +1,85 @@
+"""Rendering lint results for terminals, CI logs, and tooling.
+
+Text output is the human/CI default; ``--format json`` emits a stable
+machine-readable document (rule ids, fingerprints, locations) so other
+tooling can diff lint runs or feed dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.lint import LintResult
+from repro.analysis.rules import ALL_RULES, Finding, Severity
+
+
+def render_rules() -> str:
+    """The ``--list-rules`` table: id, severity, summary per rule."""
+    width = max(len(rule.rule_id) for rule in ALL_RULES)
+    lines = ["determinism lint rules:"]
+    for rule in ALL_RULES:
+        lines.append(f"  {rule.rule_id:{width}s}  "
+                     f"{rule.severity.value:7s}  {rule.summary}")
+    lines.append("")
+    lines.append("suppress one site inline with '# repro: allow[rule-id]' "
+                 "(allow[*] for all rules);")
+    lines.append("track legacy findings in the baseline file via "
+                 "'repro lint --update-baseline'.")
+    return "\n".join(lines)
+
+
+def _summary_line(result: LintResult) -> str:
+    counts = result.counts_by_severity()
+    errors = counts.get(Severity.ERROR, 0)
+    warnings = counts.get(Severity.WARNING, 0)
+    return (f"{result.files_checked} files checked: "
+            f"{errors} errors, {warnings} warnings, "
+            f"{result.inline_suppressed} inline-suppressed, "
+            f"{result.baseline_suppressed} baselined")
+
+
+def render_result(result: LintResult) -> str:
+    """Human-readable report: findings, stale-baseline notes, summary."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    if result.unused_baseline:
+        lines.append(
+            f"note: {len(result.unused_baseline)} baseline entries "
+            "matched nothing (fixed findings?); refresh with "
+            "--update-baseline")
+    lines.append(_summary_line(result))
+    if result.ok:
+        lines.append("determinism lint: clean")
+    else:
+        lines.append("determinism lint: FAILED (fix the findings above, "
+                     "add '# repro: allow[rule-id]' at reviewed sites, "
+                     "or baseline with --update-baseline)")
+    return "\n".join(lines)
+
+
+def _finding_to_jsonable(finding: Finding) -> Dict[str, object]:
+    return {
+        "rule": finding.rule_id,
+        "severity": finding.severity.value,
+        "message": finding.message,
+        "hint": finding.hint,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "source": finding.source_line,
+        "fingerprint": finding.fingerprint,
+    }
+
+
+def render_result_json(result: LintResult) -> str:
+    """The same report as a stable JSON document."""
+    return json.dumps({
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "inline_suppressed": result.inline_suppressed,
+        "baseline_suppressed": result.baseline_suppressed,
+        "unused_baseline": sorted(result.unused_baseline),
+        "findings": [_finding_to_jsonable(f) for f in result.findings],
+    }, indent=2, sort_keys=True)

@@ -8,18 +8,35 @@ terminal::
     repro fig6 --scale 0.5     # quicker, noisier
     repro fig2 --jobs 4        # fan points across 4 worker processes
     repro fig2 --cache-dir ~/.repro-cache   # reuse measured points
+    repro fig2 --sanitize      # runtime determinism invariants on
     repro table-t1             # in-text claims, paper vs measured
     repro all                  # everything (several minutes)
+    repro lint                 # determinism static analysis over src
+    repro lint --list-rules    # the rule catalog
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
-from repro.errors import ExperimentError
+import repro
+from repro.analysis.lint import (
+    BASELINE_FILENAME,
+    Baseline,
+    lint_paths,
+)
+from repro.analysis.report import (
+    render_result,
+    render_result_json,
+    render_rules,
+)
+from repro.analysis.sanitizer import SANITIZE_ENV
+from repro.errors import ExperimentError, ReproError
 from repro.experiments.executor import SweepExecutor, make_executor
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.harness import RunConfig
@@ -60,6 +77,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "--cache-dir", default=None, metavar="DIR",
             help="on-disk result cache; re-runs skip already-measured "
                  "points")
+        cmd_parser.add_argument(
+            "--sanitize", action="store_true",
+            help="run every point on the observation-only sanitizing "
+                 "simulator (clock/queue/conservation invariants; "
+                 "metrics stay bit-identical)")
 
     for fig_id, description in _FIGURE_DESCRIPTIONS.items():
         fig_parser = sub.add_parser(fig_id, help=description)
@@ -77,18 +99,43 @@ def _build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--scale", type=float, default=1.0)
     all_parser.add_argument("--seed", type=int, default=42)
     add_executor_args(all_parser)
+
+    lint_parser = sub.add_parser(
+        "lint", help="determinism static analysis over the package "
+                     "source (the bit-identical-reproduction gate)")
+    lint_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the installed "
+             "repro package source)")
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file of sanctioned findings (default: "
+             f"./{BASELINE_FILENAME} when present)")
+    lint_parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write every current unsuppressed finding to the "
+             "baseline file and exit 0")
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
     return parser
 
 
 def _run_figure(fig_id: str, scale: float, seed: int,
                 executor: Optional[SweepExecutor] = None) -> None:
-    start = time.time()
+    # The one sanctioned wall-clock site: operator-facing elapsed-time
+    # reporting, which never feeds simulated state or cached results.
+    start = time.perf_counter()  # repro: allow[wall-clock]
     figure = ALL_FIGURES[fig_id](config=RunConfig(seed=seed), scale=scale,
                                  executor=executor)
     print(render_figure(figure))
     if executor is not None:
         print(render_executor_stats(executor.stats, jobs=executor.jobs))
-    print(f"[{fig_id} regenerated in {time.time() - start:.1f}s]")
+    elapsed = time.perf_counter() - start  # repro: allow[wall-clock]
+    print(f"[{fig_id} regenerated in {elapsed:.1f}s]")
 
 
 def _make_executor(args: argparse.Namespace) -> Optional[SweepExecutor]:
@@ -98,6 +145,62 @@ def _make_executor(args: argparse.Namespace) -> Optional[SweepExecutor]:
     if jobs <= 1 and cache_dir is None:
         return None
     return make_executor(jobs=jobs, cache_dir=cache_dir)
+
+
+def _apply_sanitize_flag(args: argparse.Namespace) -> None:
+    """Export ``--sanitize`` through the environment.
+
+    The harness (and any parallel worker process, which inherits the
+    environment) reads ``REPRO_SANITIZE``, so one env var covers the
+    serial, parallel, and cached execution paths alike.
+    """
+    if getattr(args, "sanitize", False):
+        os.environ[SANITIZE_ENV] = "1"
+
+
+def _default_baseline_path() -> Optional[Path]:
+    """Where the checked-in baseline lives, if discoverable.
+
+    Prefers ``./.repro-lint-baseline.json`` (running from the repo
+    root, as CI does), falling back to the source checkout root
+    derived from the installed package (src layout).
+    """
+    cwd_baseline = Path.cwd() / BASELINE_FILENAME
+    if cwd_baseline.exists():
+        return cwd_baseline
+    package_root = Path(repro.__file__).resolve().parent
+    repo_baseline = package_root.parents[1] / BASELINE_FILENAME
+    if repo_baseline.exists():
+        return repo_baseline
+    return None
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the determinism lint; exit 0 only when nothing survives."""
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    package_dir = Path(repro.__file__).resolve().parent
+    paths = [Path(p) for p in args.paths] or [package_dir]
+    # Fingerprints are relative to the source root so they are stable
+    # across checkouts; explicit paths fall back to their own parents.
+    root = package_dir.parent if not args.paths else None
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else _default_baseline_path())
+    if args.update_baseline:
+        result = lint_paths(paths, root=root, baseline=None)
+        target = baseline_path or Path.cwd() / BASELINE_FILENAME
+        Baseline.from_findings(result.findings).save(target)
+        print(f"baseline: wrote {len(result.findings)} finding(s) to "
+              f"{target}")
+        return 0
+    baseline = Baseline.load(baseline_path)
+    result = lint_paths(paths, root=root, baseline=baseline)
+    if args.format == "json":
+        print(render_result_json(result))
+    else:
+        print(render_result(result))
+    return 0 if result.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -110,16 +213,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {fig_id:9s} {description}")
         print(f"  {'table-t1':9s} in-text claims, paper vs measured")
         print(f"  {'all':9s} everything above")
+        print(f"  {'lint':9s} determinism static analysis "
+              f"(repro lint --list-rules)")
         return 0
     if args.command == "table-t1":
         print(render_t1(table_t1(RunConfig(seed=args.seed))))
         return 0
+    if args.command == "lint":
+        try:
+            return _cmd_lint(args)
+        except ReproError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
     if args.command == "all":
         try:
             executor = _make_executor(args)
         except ExperimentError as exc:
             print(f"repro: {exc}", file=sys.stderr)
             return 2
+        _apply_sanitize_flag(args)
         for fig_id in _FIGURE_DESCRIPTIONS:
             _run_figure(fig_id, args.scale, args.seed, executor)
             print()
@@ -131,6 +243,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ExperimentError as exc:
             print(f"repro: {exc}", file=sys.stderr)
             return 2
+        _apply_sanitize_flag(args)
         _run_figure(args.command, args.scale, args.seed, executor)
         return 0
     parser.error(f"unknown command {args.command!r}")

@@ -71,3 +71,17 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """A failure while running an experiment harness."""
+
+
+class AnalysisError(ReproError):
+    """A failure inside the static-analysis (lint) tooling itself."""
+
+
+class SanitizerError(SimulationError):
+    """A runtime determinism invariant was violated under ``--sanitize``.
+
+    Raised by the sanitizing simulator the moment a check fails (clock
+    regression, queue-accounting corruption, leaked request), with a
+    diagnostic that localizes the divergence — including per-stream RNG
+    draw counts when a registry is attached.
+    """

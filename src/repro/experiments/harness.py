@@ -18,6 +18,11 @@ from typing import (
     Tuple,
 )
 
+from repro.analysis.sanitizer import (
+    SanitizedRngRegistry,
+    SanitizedSimulator,
+    sanitize_enabled,
+)
 from repro.errors import ExperimentError
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import RunMetrics
@@ -122,21 +127,39 @@ def run_point_with_events(factory: SystemFactory, rate_rps: float,
                           distribution: ServiceTimeDistribution,
                           config: RunConfig = RunConfig(),
                           clients: Optional[ClientPool] = None,
+                          sanitize: Optional[bool] = None,
                           ) -> Tuple[RunMetrics, int]:
     """Run one point and return (metrics, simulator events executed).
 
     The event count is what executors aggregate to prove a cached
     re-run did no simulation work.
+
+    ``sanitize`` switches the run onto the observation-only sanitizing
+    simulator (clock monotonicity, queue accounting, request
+    conservation, per-stream draw counts — see
+    :mod:`repro.analysis.sanitizer`); the default None defers to the
+    ``REPRO_SANITIZE`` environment variable, which worker processes of
+    a parallel executor inherit.  Metrics are bit-identical either way.
     """
     if rate_rps <= 0:
         raise ExperimentError(f"rate must be positive: {rate_rps}")
-    sim = Simulator()
-    rngs = RngRegistry(config.seed)
+    if sanitize is None:
+        sanitize = sanitize_enabled()
+    if sanitize:
+        rngs: RngRegistry = SanitizedRngRegistry(config.seed)
+        sim: Simulator = SanitizedSimulator(rngs=rngs)
+    else:
+        rngs = RngRegistry(config.seed)
+        sim = Simulator()
     metrics = MetricsCollector(sim, warmup_ns=config.warmup_ns)
     system = factory(sim, rngs, metrics)
+    ingress = system.ingress
+    if isinstance(sim, SanitizedSimulator):
+        sim.watch_system(system)
+        ingress = sim.tracking_ingress(system.ingress)
     system.start()
     generator = OpenLoopLoadGenerator(
-        sim, system.ingress, PoissonArrivals(rate_rps), rngs, metrics,
+        sim, ingress, PoissonArrivals(rate_rps), rngs, metrics,
         horizon_ns=config.horizon_ns, distribution=distribution,
         clients=clients)
     generator.start()
@@ -145,6 +168,8 @@ def run_point_with_events(factory: SystemFactory, rate_rps: float,
     # with perpetual housekeeping processes (rebalancers, advertisers)
     # terminate cleanly.
     sim.run(until=config.horizon_ns, max_events=config.max_events)
+    if isinstance(sim, SanitizedSimulator):
+        sim.finalize()
     return metrics.summarize(offered_rps=rate_rps), sim.event_count
 
 

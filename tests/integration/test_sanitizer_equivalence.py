@@ -1,0 +1,51 @@
+"""Sanitized runs must be pure observation: bit-identical figures.
+
+Regenerates a (shrunk) Figure 2 sweep twice — once plain, once with
+``REPRO_SANITIZE=1`` driving every point onto the sanitizing simulator
+— and requires the resulting :class:`RunMetrics` to be bit-identical,
+down to serialized float representations.  This is the contract that
+lets CI run the whole differential suite sanitized without changing
+what it measures.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+import pytest
+
+from repro.experiments.executor import metrics_to_jsonable
+from repro.experiments.figures import figure2
+from repro.experiments.harness import RunConfig
+from repro.units import ms
+
+#: Two points per system keep this an integration test, not a bench.
+RATES = [200e3, 450e3]
+CONFIG = RunConfig(seed=17, horizon_ns=ms(2.0), warmup_ns=ms(0.4))
+
+
+def _fig2_metrics_json(monkeypatch, sanitize: bool) -> List[str]:
+    """Every RunMetrics of a small fig2 run, serialized exactly."""
+    if sanitize:
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+    else:
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    figure = figure2(config=CONFIG, rates=RATES)
+    return [json.dumps(metrics_to_jsonable(point.metrics), sort_keys=True)
+            for sweep in figure.sweeps for point in sweep.points]
+
+
+class TestSanitizerEquivalence:
+    def test_fig2_sweep_bit_identical_under_sanitizer(self, monkeypatch):
+        plain = _fig2_metrics_json(monkeypatch, sanitize=False)
+        sanitized = _fig2_metrics_json(monkeypatch, sanitize=True)
+        assert len(plain) == len(RATES) * 2
+        assert sanitized == plain
+
+    def test_sanitized_run_observes_real_traffic(self, monkeypatch):
+        """The sanitizer actually engaged (completions measured)."""
+        sanitized = _fig2_metrics_json(monkeypatch, sanitize=True)
+        completed = sum(json.loads(entry)["throughput"]["completed"]
+                        for entry in sanitized)
+        assert completed > 0
