@@ -10,17 +10,20 @@ the NIC) plus every baseline the paper discusses.
 Quick start::
 
     from repro import (
-        RunConfig, run_point, ShinjukuOffloadSystem,
+        RunConfig, run_point, ConfiguredFactory,
         ShinjukuOffloadConfig, BIMODAL_FIG2,
     )
 
-    def factory(sim, rngs, metrics):
-        return ShinjukuOffloadSystem(
-            sim, rngs, metrics, config=ShinjukuOffloadConfig(workers=4))
-
+    factory = ConfiguredFactory.by_name(
+        "shinjuku-offload", ShinjukuOffloadConfig(workers=4))
     metrics = run_point(factory, rate_rps=300e3,
                         distribution=BIMODAL_FIG2, config=RunConfig())
     print(metrics.latency.p99_ns / 1e3, "us")
+
+Every served system is registered by name in ``repro.systems.registry``
+(``python -m repro.cli systems`` lists the catalog); ``by_name``
+factories are picklable and cache-fingerprint-identical to their
+by-class equivalents.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -78,6 +81,11 @@ from repro.systems import (
     ShardedShinjukuSystem,
     ElasticRssConfig,
     ElasticRssSystem,
+)
+from repro.systems import (
+    SystemEntry,
+    list_systems,
+    register_system,
 )
 from repro.core.pacing import BacklogAdvertiser, JustInTimePacer
 from repro.systems.rss_system import RssSystemConfig
@@ -147,6 +155,7 @@ __all__ = [
     "ElasticRssConfig", "ElasticRssSystem", "BacklogAdvertiser",
     "JustInTimePacer", "RssSystemConfig", "WorkStealingConfig",
     "MicaSystemConfig", "RpcValetConfig", "ideal_offload_config",
+    "SystemEntry", "list_systems", "register_system",
     # metrics
     "MetricsCollector", "LatencySummary", "ThroughputSummary", "RunMetrics",
     # analysis

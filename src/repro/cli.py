@@ -9,6 +9,8 @@ terminal::
     repro fig2 --jobs 4        # fan points across 4 worker processes
     repro fig2 --cache-dir ~/.repro-cache   # reuse measured points
     repro fig2 --sanitize      # runtime determinism invariants on
+    repro systems              # every registered system, with configs
+    repro run --system rss --rate 200e3     # one point of one system
     repro table-t1             # in-text claims, paper vs measured
     repro all                  # everything (several minutes)
     repro lint                 # determinism static analysis over src
@@ -37,16 +39,24 @@ from repro.analysis.report import (
 )
 from repro.analysis.sanitizer import SANITIZE_ENV
 from repro.errors import ExperimentError, ReproError
-from repro.experiments.executor import SweepExecutor, make_executor
+from repro.experiments.executor import (
+    ConfiguredFactory,
+    PointSpec,
+    SweepExecutor,
+    make_executor,
+)
 from repro.experiments.figures import ALL_FIGURES
-from repro.experiments.harness import RunConfig
+from repro.experiments.harness import RunConfig, run_point
 from repro.experiments.report import (
     render_executor_stats,
     render_figure,
     render_t1,
 )
 from repro.experiments.tables import table_t1
+from repro.systems import registry
+from repro.units import us
 from repro.version import __version__
+from repro.workload.distributions import Fixed
 
 _FIGURE_DESCRIPTIONS = {
     "fig2": "bimodal 99.5%/0.5%, 10us slice, Shinjuku 3w vs Offload 4w",
@@ -67,6 +77,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command")
 
     sub.add_parser("list", help="list available experiments")
+
+    sub.add_parser("systems",
+                   help="list every registered system with its config "
+                        "class and description")
 
     def add_executor_args(cmd_parser: argparse.ArgumentParser) -> None:
         cmd_parser.add_argument(
@@ -90,6 +104,24 @@ def _build_parser() -> argparse.ArgumentParser:
             help="horizon scale factor (smaller = faster, noisier)")
         fig_parser.add_argument("--seed", type=int, default=42)
         add_executor_args(fig_parser)
+
+    run_parser = sub.add_parser(
+        "run", help="run one registered system at one offered load")
+    run_parser.add_argument(
+        "--system", required=True, metavar="NAME",
+        help="registry name of the system (see 'repro systems')")
+    run_parser.add_argument(
+        "--rate", type=float, default=100e3, metavar="RPS",
+        help="offered load, requests per second (default: 100e3)")
+    run_parser.add_argument(
+        "--service-us", type=float, default=2.0, metavar="US",
+        help="fixed service time per request, microseconds "
+             "(default: 2.0)")
+    run_parser.add_argument("--seed", type=int, default=42)
+    run_parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="horizon scale factor (smaller = faster, noisier)")
+    add_executor_args(run_parser)
 
     t1_parser = sub.add_parser(
         "table-t1", help="in-text quantitative claims, paper vs measured")
@@ -136,6 +168,52 @@ def _run_figure(fig_id: str, scale: float, seed: int,
         print(render_executor_stats(executor.stats, jobs=executor.jobs))
     elapsed = time.perf_counter() - start  # repro: allow[wall-clock]
     print(f"[{fig_id} regenerated in {elapsed:.1f}s]")
+
+
+def _cmd_systems() -> int:
+    """Print the registry: one line per system."""
+    print("registered systems:")
+    for entry in registry.list_systems():
+        config_name = (entry.config_cls.__name__
+                       if entry.config_cls is not None else "-")
+        print(f"  {entry.name:18s} {config_name:22s} {entry.description}")
+    print("\nrun one with: repro run --system <name>")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Run one (system, rate) point by registry name and report it."""
+    factory = ConfiguredFactory.by_name(args.system)
+    config = RunConfig(seed=args.seed).scaled(args.scale)
+    distribution = Fixed(us(args.service_us))
+    executor = _make_executor(args)
+    _apply_sanitize_flag(args)
+    start = time.perf_counter()  # repro: allow[wall-clock]
+    if executor is None:
+        metrics = run_point(factory, args.rate, distribution, config)
+    else:
+        metrics = executor.run_point(PointSpec(
+            factory=factory, rate_rps=args.rate, distribution=distribution,
+            config=config, label=args.system))
+    elapsed = time.perf_counter() - start  # repro: allow[wall-clock]
+    throughput = metrics.throughput
+    print(f"{args.system} @ {args.rate / 1e3:.0f}k RPS offered, "
+          f"fixed {args.service_us:g}us service (seed {args.seed}):")
+    print(f"  achieved    {throughput.achieved_rps / 1e3:.1f}k RPS "
+          f"({throughput.completed} completed, {throughput.dropped} dropped)")
+    if metrics.latency is None:
+        print("  latency     no samples in the measurement window")
+    else:
+        latency = metrics.latency
+        print(f"  latency     p50 {latency.p50_ns / 1e3:.2f}us  "
+              f"p99 {latency.p99_ns / 1e3:.2f}us  "
+              f"p99.9 {latency.p999_ns / 1e3:.2f}us")
+    print(f"  preemptions {metrics.preemptions}  "
+          f"worker wait {metrics.worker_wait_fraction:.1%}")
+    if executor is not None:
+        print(render_executor_stats(executor.stats, jobs=executor.jobs))
+    print(f"[{args.system} point in {elapsed:.1f}s]")
+    return 0
 
 
 def _make_executor(args: argparse.Namespace) -> Optional[SweepExecutor]:
@@ -213,9 +291,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {fig_id:9s} {description}")
         print(f"  {'table-t1':9s} in-text claims, paper vs measured")
         print(f"  {'all':9s} everything above")
+        print(f"  {'systems':9s} every registered system (repro run "
+              f"--system <name>)")
         print(f"  {'lint':9s} determinism static analysis "
               f"(repro lint --list-rules)")
         return 0
+    if args.command == "systems":
+        return _cmd_systems()
+    if args.command == "run":
+        try:
+            return _cmd_run(args)
+        except ReproError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
     if args.command == "table-t1":
         print(render_t1(table_t1(RunConfig(seed=args.seed))))
         return 0

@@ -43,13 +43,14 @@ from typing import (
     Union,
 )
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigError, ExperimentError
 from repro.experiments.harness import (
     RunConfig,
     SystemFactory,
     run_point_with_events,
 )
 from repro.metrics.summary import LatencySummary, RunMetrics, ThroughputSummary
+from repro.systems import registry
 from repro.workload.distributions import ServiceTimeDistribution
 
 #: Bump when the cache key payload or the stored schema changes shape;
@@ -87,19 +88,52 @@ class ConfiguredFactory:
     is what lets :class:`ParallelExecutor` ship these to workers; the
     deterministic dataclass ``repr`` of the config is what lets the
     cache fingerprint them.
+
+    ``system`` may also be a registry name (see :meth:`by_name`); the
+    name resolves through :mod:`repro.systems.registry` at call and
+    fingerprint time, so a by-name factory pickles as a short string
+    and produces the *same* cache token as the equivalent by-class
+    factory — switching construction styles never invalidates a cache.
     """
 
-    system: Type
+    system: Union[Type, str]
     config: Any = None
 
+    @classmethod
+    def by_name(cls, name: str, config: Any = None) -> "ConfiguredFactory":
+        """A factory keyed by registry name, validated eagerly.
+
+        Unknown names and config-type mismatches raise
+        :class:`ConfigError` here, at construction — not minutes later
+        inside a worker process.
+        """
+        entry = registry.get(name)
+        if config is not None:
+            if entry.config_cls is None:
+                raise ConfigError(
+                    f"system {name!r} takes no config, "
+                    f"got {type(config).__name__}")
+            if not isinstance(config, entry.config_cls):
+                raise ConfigError(
+                    f"system {name!r} expects {entry.config_cls.__name__}, "
+                    f"got {type(config).__name__}")
+        return cls(system=name, config=config)
+
+    def resolve(self) -> Type:
+        """The concrete system class (resolving a registry name)."""
+        if isinstance(self.system, str):
+            return registry.get(self.system).cls
+        return self.system
+
     def __call__(self, sim, rngs, metrics):
+        system = self.resolve()
         if self.config is None:
-            return self.system(sim, rngs, metrics)
-        return self.system(sim, rngs, metrics, config=self.config)
+            return system(sim, rngs, metrics)
+        return system(sim, rngs, metrics, config=self.config)
 
     def cache_token(self) -> str:
         """Deterministic fingerprint: qualified class plus config repr."""
-        cls = self.system
+        cls = self.resolve()
         return f"{cls.__module__}.{cls.__qualname__}(config={self.config!r})"
 
 

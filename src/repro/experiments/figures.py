@@ -28,8 +28,6 @@ from repro.experiments.harness import (
     load_sweep,
     measure_capacity,
 )
-from repro.systems.shinjuku import ShinjukuSystem
-from repro.systems.shinjuku_offload import ShinjukuOffloadSystem
 from repro.units import us
 from repro.workload.distributions import BIMODAL_FIG2, Fixed
 
@@ -63,29 +61,21 @@ class FigureResult:
     sweeps: List[LoadSweepResult] = field(default_factory=list)
 
 
-def _shinjuku_factory(config: ShinjukuConfig) -> ConfiguredFactory:
-    # Picklable + fingerprintable, so figure sweeps can fan out across
-    # worker processes and land in the result cache.
-    return ConfiguredFactory(ShinjukuSystem, config)
-
-
-def _offload_factory(config: ShinjukuOffloadConfig) -> ConfiguredFactory:
-    return ConfiguredFactory(ShinjukuOffloadSystem, config)
-
-
 def _sweep_pair(shinjuku_config: ShinjukuConfig,
                 offload_config: ShinjukuOffloadConfig,
                 distribution, rates: Sequence[float],
                 config: RunConfig,
                 executor: Optional[SweepExecutor] = None,
                 ) -> Tuple[LoadSweepResult, LoadSweepResult]:
-    shinjuku = load_sweep(_shinjuku_factory(shinjuku_config), rates,
-                          distribution, config, system_name="Shinjuku",
-                          executor=executor)
-    offload = load_sweep(_offload_factory(offload_config), rates,
-                         distribution, config,
-                         system_name="Shinjuku-Offload",
-                         executor=executor)
+    # By-name factories stay picklable + fingerprintable, so figure
+    # sweeps can fan out across worker processes and land in the cache.
+    shinjuku = load_sweep(
+        ConfiguredFactory.by_name("shinjuku", shinjuku_config), rates,
+        distribution, config, system_name="Shinjuku", executor=executor)
+    offload = load_sweep(
+        ConfiguredFactory.by_name("shinjuku-offload", offload_config), rates,
+        distribution, config, system_name="Shinjuku-Offload",
+        executor=executor)
     return shinjuku, offload
 
 
@@ -104,7 +94,7 @@ def _to_figure(figure_id: str, title: str, notes: str,
 # Figure 2 — bimodal 99.5% 5 µs / 0.5% 100 µs, 10 µs slice
 # ---------------------------------------------------------------------------
 
-def figure2(config: RunConfig = RunConfig(), scale: float = 1.0,
+def figure2(config: Optional[RunConfig] = None, scale: float = 1.0,
             rates: Optional[Sequence[float]] = None,
             executor: Optional[SweepExecutor] = None) -> FigureResult:
     """Tail latency vs throughput for the Figure 2 bimodal workload.
@@ -112,7 +102,7 @@ def figure2(config: RunConfig = RunConfig(), scale: float = 1.0,
     "Shinjuku has 3 workers and Shinjuku-Offload has 4 (up to 4
     outstanding requests).  The preemption time slice is 10 µs."
     """
-    run_config = config.scaled(scale)
+    run_config = (config if config is not None else RunConfig()).scaled(scale)
     if rates is None:
         rates = [100e3, 200e3, 300e3, 350e3, 400e3, 450e3, 500e3, 550e3, 600e3]
     shinjuku, offload = _sweep_pair(
@@ -132,7 +122,7 @@ def figure2(config: RunConfig = RunConfig(), scale: float = 1.0,
 # Figure 3 — throughput vs outstanding requests (queuing optimization)
 # ---------------------------------------------------------------------------
 
-def figure3(config: RunConfig = RunConfig(), scale: float = 1.0,
+def figure3(config: Optional[RunConfig] = None, scale: float = 1.0,
             outstanding: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
             worker_counts: Sequence[int] = (16, 4),
             overload_rps: float = 2.5e6,
@@ -142,12 +132,13 @@ def figure3(config: RunConfig = RunConfig(), scale: float = 1.0,
     "Fixed 1 µs service time.  Shinjuku-Offload [with 4 and 16
     workers]" — preemption off, overload offered, plateau measured.
     """
-    run_config = config.scaled(scale)
+    run_config = (config if config is not None else RunConfig()).scaled(scale)
     grid = [(workers, k) for workers in worker_counts for k in outstanding]
     factories = {
-        (workers, k): _offload_factory(ShinjukuOffloadConfig(
-            workers=workers, outstanding_per_worker=k,
-            preemption=NO_PREEMPTION))
+        (workers, k): ConfiguredFactory.by_name(
+            "shinjuku-offload",
+            ShinjukuOffloadConfig(workers=workers, outstanding_per_worker=k,
+                                  preemption=NO_PREEMPTION))
         for workers, k in grid}
     if executor is None:
         capacities = {
@@ -185,11 +176,11 @@ def figure3(config: RunConfig = RunConfig(), scale: float = 1.0,
 # Figure 4 — fixed 5 µs, no preemption, 3 vs 4 workers
 # ---------------------------------------------------------------------------
 
-def figure4(config: RunConfig = RunConfig(), scale: float = 1.0,
+def figure4(config: Optional[RunConfig] = None, scale: float = 1.0,
             rates: Optional[Sequence[float]] = None,
             executor: Optional[SweepExecutor] = None) -> FigureResult:
     """Tail vs throughput at fixed 5 µs (§4.1's second workload)."""
-    run_config = config.scaled(scale)
+    run_config = (config if config is not None else RunConfig()).scaled(scale)
     if rates is None:
         rates = [100e3, 200e3, 300e3, 400e3, 450e3, 500e3, 550e3,
                  600e3, 650e3, 700e3]
@@ -209,12 +200,13 @@ def figure4(config: RunConfig = RunConfig(), scale: float = 1.0,
 # Figure 5 — fixed 100 µs, 15 vs 16 workers, <= 2 outstanding
 # ---------------------------------------------------------------------------
 
-def figure5(config: RunConfig = RunConfig(), scale: float = 1.0,
+def figure5(config: Optional[RunConfig] = None, scale: float = 1.0,
             rates: Optional[Sequence[float]] = None,
             executor: Optional[SweepExecutor] = None) -> FigureResult:
     """Tail vs throughput at fixed 100 µs (§4.1's third workload)."""
     # Long services need a longer window for stable p99s.
-    run_config = config.scaled(scale * 4.0)
+    run_config = (config if config is not None
+                  else RunConfig()).scaled(scale * 4.0)
     if rates is None:
         rates = [25e3, 50e3, 75e3, 100e3, 120e3, 135e3, 145e3, 155e3, 165e3]
     shinjuku, offload = _sweep_pair(
@@ -233,11 +225,11 @@ def figure5(config: RunConfig = RunConfig(), scale: float = 1.0,
 # Figure 6 — fixed 1 µs, 15 vs 16 workers, <= 5 outstanding
 # ---------------------------------------------------------------------------
 
-def figure6(config: RunConfig = RunConfig(), scale: float = 1.0,
+def figure6(config: Optional[RunConfig] = None, scale: float = 1.0,
             rates: Optional[Sequence[float]] = None,
             executor: Optional[SweepExecutor] = None) -> FigureResult:
     """Tail vs throughput at fixed 1 µs — the bottleneck figure (§5.1)."""
-    run_config = config.scaled(scale)
+    run_config = (config if config is not None else RunConfig()).scaled(scale)
     if rates is None:
         rates = [500e3, 1000e3, 1250e3, 1500e3, 2000e3, 2500e3,
                  3000e3, 3500e3, 4000e3, 4500e3]

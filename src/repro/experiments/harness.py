@@ -125,7 +125,7 @@ class LoadSweepResult:
 
 def run_point_with_events(factory: SystemFactory, rate_rps: float,
                           distribution: ServiceTimeDistribution,
-                          config: RunConfig = RunConfig(),
+                          config: Optional[RunConfig] = None,
                           clients: Optional[ClientPool] = None,
                           sanitize: Optional[bool] = None,
                           ) -> Tuple[RunMetrics, int]:
@@ -141,6 +141,8 @@ def run_point_with_events(factory: SystemFactory, rate_rps: float,
     ``REPRO_SANITIZE`` environment variable, which worker processes of
     a parallel executor inherit.  Metrics are bit-identical either way.
     """
+    if config is None:
+        config = RunConfig()
     if rate_rps <= 0:
         raise ExperimentError(f"rate must be positive: {rate_rps}")
     if sanitize is None:
@@ -175,7 +177,7 @@ def run_point_with_events(factory: SystemFactory, rate_rps: float,
 
 def run_point(factory: SystemFactory, rate_rps: float,
               distribution: ServiceTimeDistribution,
-              config: RunConfig = RunConfig(),
+              config: Optional[RunConfig] = None,
               clients: Optional[ClientPool] = None) -> RunMetrics:
     """Run one (system, rate) point and return its metrics."""
     metrics, _events = run_point_with_events(factory, rate_rps, distribution,
@@ -201,7 +203,7 @@ def _run_batch(factory: SystemFactory, rates_rps: Sequence[float],
 
 def load_sweep(factory: SystemFactory, rates_rps: Sequence[float],
                distribution: ServiceTimeDistribution,
-               config: RunConfig = RunConfig(),
+               config: Optional[RunConfig] = None,
                system_name: str = "system",
                executor: Optional["SweepExecutor"] = None) -> LoadSweepResult:
     """Run *factory* at each offered rate; one fresh simulator each.
@@ -210,6 +212,8 @@ def load_sweep(factory: SystemFactory, rates_rps: Sequence[float],
     and/or be served from its result cache; ``points`` stay in
     offered-rate order either way.
     """
+    if config is None:
+        config = RunConfig()
     if not rates_rps:
         raise ExperimentError("empty rate list")
     all_metrics = _run_batch(factory, rates_rps, distribution, config,
@@ -222,7 +226,7 @@ def load_sweep(factory: SystemFactory, rates_rps: Sequence[float],
 def measure_capacity(factory: SystemFactory,
                      distribution: ServiceTimeDistribution,
                      overload_rps: float,
-                     config: RunConfig = RunConfig(),
+                     config: Optional[RunConfig] = None,
                      system_name: str = "system",
                      executor: Optional["SweepExecutor"] = None) -> float:
     """Achieved throughput under heavy overload — the plateau value.
@@ -230,6 +234,8 @@ def measure_capacity(factory: SystemFactory,
     This is how Figure 3's y-axis is measured: offer far more than the
     system can serve and report what actually completes.
     """
+    if config is None:
+        config = RunConfig()
     metrics = _run_batch(factory, [overload_rps], distribution, config,
                          system_name, executor)[0]
     return metrics.throughput.achieved_rps
@@ -267,7 +273,7 @@ class SaturationResult(float):
 def find_saturation(factory: SystemFactory,
                     distribution: ServiceTimeDistribution,
                     lo_rps: float, hi_rps: float,
-                    config: RunConfig = RunConfig(),
+                    config: Optional[RunConfig] = None,
                     efficiency: float = 0.95,
                     iterations: int = 7,
                     system_name: str = "system",
@@ -279,6 +285,8 @@ def find_saturation(factory: SystemFactory,
     least *efficiency* of offered load, as a :class:`SaturationResult`
     carrying every probed point's metrics (they used to be discarded).
     """
+    if config is None:
+        config = RunConfig()
     if not 0 < lo_rps < hi_rps:
         raise ExperimentError(f"need 0 < lo < hi, got {lo_rps}, {hi_rps}")
     best = 0.0

@@ -21,12 +21,12 @@ from repro.config import (
     ShinjukuConfig,
     StingrayConfig,
 )
+from repro.experiments.executor import ConfiguredFactory
 from repro.experiments.harness import RunConfig, measure_capacity, run_point
 from repro.hw.smartnic import FabricDomain, StingraySmartNic
 from repro.net.packet import EthernetHeader, Packet
 from repro.sim.engine import Simulator
-from repro.systems.rss_system import RssSystem, RssSystemConfig
-from repro.systems.shinjuku import ShinjukuSystem
+from repro.systems.rss_system import RssSystemConfig
 from repro.units import GBPS, KIB, goodput_bps, us
 from repro.workload.distributions import Fixed
 
@@ -83,18 +83,12 @@ def _measure_itc_penalty(config: RunConfig) -> float:
     """
     tiny = Fixed(200.0)
     light_rate = 50e3
-
-    def shinjuku_factory(sim, rngs, metrics):
-        return ShinjukuSystem(
-            sim, rngs, metrics,
-            config=ShinjukuConfig(
-                workers=1,
-                preemption=PreemptionConfig(time_slice_ns=None)))
-
-    def single_thread_factory(sim, rngs, metrics):
-        return RssSystem(sim, rngs, metrics,
-                         config=RssSystemConfig(workers=1))
-
+    shinjuku_factory = ConfiguredFactory.by_name(
+        "shinjuku",
+        ShinjukuConfig(workers=1,
+                       preemption=PreemptionConfig(time_slice_ns=None)))
+    single_thread_factory = ConfiguredFactory.by_name(
+        "rss", RssSystemConfig(workers=1))
     pipelined = run_point(shinjuku_factory, light_rate, tiny, config)
     single = run_point(single_thread_factory, light_rate, tiny, config)
     assert pipelined.latency is not None and single.latency is not None
@@ -103,13 +97,10 @@ def _measure_itc_penalty(config: RunConfig) -> float:
 
 def _measure_dispatcher_cap(config: RunConfig) -> float:
     """Peak Shinjuku dispatch rate: many workers, tiny service, overload."""
-    def factory(sim, rngs, metrics):
-        return ShinjukuSystem(
-            sim, rngs, metrics,
-            config=ShinjukuConfig(
-                workers=15,
-                preemption=PreemptionConfig(time_slice_ns=None)))
-
+    factory = ConfiguredFactory.by_name(
+        "shinjuku",
+        ShinjukuConfig(workers=15,
+                       preemption=PreemptionConfig(time_slice_ns=None)))
     return measure_capacity(factory, Fixed(400.0), overload_rps=8e6,
                             config=config)
 

@@ -113,6 +113,8 @@ class BaseSystem:
         """Record a dropped request."""
         request.state = RequestState.DROPPED
         self.metrics.record_drop(request)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "drop", request=request.request_id)
 
     # -- diagnostics -------------------------------------------------------------------
 

@@ -22,25 +22,24 @@ from typing import List, Optional, TYPE_CHECKING
 
 from repro.config import HostMachineConfig
 from repro.errors import ConfigError
-from repro.hw.cpu import HostMachine
 from repro.metrics.collector import MetricsCollector
-from repro.net.addressing import FiveTuple
 from repro.net.rss import RssSteering
-from repro.runtime.context import ContextCosts
 from repro.runtime.request import Request
-from repro.runtime.worker import WorkerCore
 from repro.sim.primitives import Store
 from repro.sim.rng import RngRegistry
 from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
+from repro.systems.parts import (
+    build_host_machine,
+    fifo_worker_loop,
+    service_flow,
+    spawn_worker_pool,
+)
+from repro.systems.registry import register_system
 from repro.units import us
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
     from repro.sim.trace import Tracer
-
-_PROTO_UDP = 17
-_SERVICE_IP = 0x0A00000A
-_SERVICE_PORT = 9000
 
 
 @dataclass(frozen=True)
@@ -64,6 +63,10 @@ class ElasticRssConfig:
             raise ConfigError("smoothing_alpha must be in (0, 1]")
 
 
+@register_system(
+    "elastic-rss", config=ElasticRssConfig,
+    description="adaptive RSS: indirection table re-weighted each "
+                "epoch by per-core queue depth")
 class ElasticRssSystem(BaseSystem):
     """RSS whose indirection table tracks per-core load each epoch."""
 
@@ -71,17 +74,14 @@ class ElasticRssSystem(BaseSystem):
 
     def __init__(self, sim: "Simulator", rngs: RngRegistry,
                  metrics: MetricsCollector,
-                 config: ElasticRssConfig = ElasticRssConfig(),
+                 config: Optional[ElasticRssConfig] = None,
                  client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
                  tracer: Optional["Tracer"] = None):
         super().__init__(sim, rngs, metrics, client_wire_ns, tracer)
-        self.config = config
+        self.config = config = (config if config is not None
+                                else ElasticRssConfig())
         self.costs = config.host.costs
-        self.machine = HostMachine(
-            sim, sockets=config.host.sockets,
-            cores_per_socket=config.host.cores_per_socket,
-            clock_ghz=config.host.clock_ghz,
-            smt=config.host.threads_per_core)
+        self.machine = build_host_machine(sim, config.host)
         self.rss = RssSteering(n_queues=config.workers)
         self.queues: List[Store] = [
             Store(sim, capacity=config.rx_queue_depth, name=f"erss-q{i}")
@@ -89,21 +89,14 @@ class ElasticRssSystem(BaseSystem):
         self._weights = [1.0] * config.workers
         #: Rebalancing epochs executed (diagnostics).
         self.rebalances = 0
-        context_costs = ContextCosts(
-            spawn_ns=self.costs.context_spawn_ns,
-            save_ns=self.costs.context_save_ns,
-            restore_ns=self.costs.context_restore_ns)
-        self.workers = [
-            WorkerCore(sim, worker_id=i,
-                       thread=self.machine.allocate_dedicated_core(f"worker{i}"),
-                       context_costs=context_costs, preemption=None)
-            for i in range(config.workers)]
+        self.workers = spawn_worker_pool(
+            sim, self.machine, config.workers, self.costs)
 
     def _start(self) -> None:
         self.sim.process(self._rebalancer_loop(), label="erss-rebalance")
         for worker in self.workers:
             process = self.sim.process(
-                self._worker_loop(worker),
+                fifo_worker_loop(self, worker, self.queues[worker.worker_id]),
                 label=f"erss-worker{worker.worker_id}")
             worker.attach_process(process)
 
@@ -138,22 +131,6 @@ class ElasticRssSystem(BaseSystem):
 
     def _server_ingress(self, request: Request) -> None:
         request.stamp("nic_rx", self.sim.now)
-        flow = FiveTuple(src_ip=request.src_ip, dst_ip=_SERVICE_IP,
-                         src_port=request.src_port, dst_port=_SERVICE_PORT,
-                         protocol=_PROTO_UDP)
-        queue_index = self.rss.steer_flow(flow)
+        queue_index = self.rss.steer_flow(service_flow(request))
         if not self.queues[queue_index].try_put(request):
             self.drop(request)
-
-    def _worker_loop(self, worker: WorkerCore):
-        queue = self.queues[worker.worker_id]
-        thread = worker.thread
-        while True:
-            worker.begin_wait()
-            request = yield queue.get()
-            worker.end_wait()
-            yield thread.execute(self.costs.networker_pkt_ns)
-            yield thread.execute(self.costs.worker_rx_ns)
-            yield from worker.run_request(request)
-            yield thread.execute(self.costs.worker_response_tx_ns)
-            self.respond(request)

@@ -30,6 +30,7 @@ from repro.core.policy import SchedulingPolicy
 from repro.metrics.collector import MetricsCollector
 from repro.sim.rng import RngRegistry
 from repro.systems.base import DEFAULT_CLIENT_WIRE_NS
+from repro.systems.registry import register_system
 from repro.systems.shinjuku_offload import ShinjukuOffloadSystem
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -71,6 +72,11 @@ def ideal_offload_config(workers: int = 4,
     )
 
 
+@register_system(
+    "ideal-offload", config=ShinjukuOffloadConfig,
+    default_config=ideal_offload_config,
+    description="Shinjuku-Offload on the §5.1 ideal NIC: ASIC "
+                "dispatcher, CXL-class path, direct interrupts")
 class IdealOffloadSystem(ShinjukuOffloadSystem):
     """Shinjuku-Offload on the §3.1 ideal SmartNIC."""
 

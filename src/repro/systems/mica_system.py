@@ -19,15 +19,18 @@ from typing import List, Optional, TYPE_CHECKING
 
 from repro.config import HostMachineConfig
 from repro.errors import ConfigError
-from repro.hw.cpu import HostMachine
 from repro.metrics.collector import MetricsCollector
 from repro.net.flow_director import FlowDirector
-from repro.runtime.context import ContextCosts
 from repro.runtime.request import Request
-from repro.runtime.worker import WorkerCore
 from repro.sim.primitives import Store
 from repro.sim.rng import RngRegistry
 from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
+from repro.systems.parts import (
+    build_host_machine,
+    fifo_worker_loop,
+    spawn_worker_pool,
+)
+from repro.systems.registry import register_system
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
@@ -47,6 +50,10 @@ class MicaSystemConfig:
             raise ConfigError("need at least one worker")
 
 
+@register_system(
+    "mica", config=MicaSystemConfig,
+    description="MICA-style EREW key partitioning via Flow Director, "
+                "run to completion")
 class MicaSystem(BaseSystem):
     """Flow-Director key steering, EREW, run-to-completion."""
 
@@ -54,37 +61,27 @@ class MicaSystem(BaseSystem):
 
     def __init__(self, sim: "Simulator", rngs: RngRegistry,
                  metrics: MetricsCollector,
-                 config: MicaSystemConfig = MicaSystemConfig(),
+                 config: Optional[MicaSystemConfig] = None,
                  client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
                  tracer: Optional["Tracer"] = None):
         super().__init__(sim, rngs, metrics, client_wire_ns, tracer)
-        self.config = config
+        self.config = config = (config if config is not None
+                                else MicaSystemConfig())
         self.costs = config.host.costs
-        self.machine = HostMachine(
-            sim, sockets=config.host.sockets,
-            cores_per_socket=config.host.cores_per_socket,
-            clock_ghz=config.host.clock_ghz,
-            smt=config.host.threads_per_core)
+        self.machine = build_host_machine(sim, config.host)
         self.flow_director = FlowDirector(
             n_queues=config.workers,
             key_extractor=None)  # keys steered directly, below
         self.queues: List[Store] = [
             Store(sim, capacity=config.rx_queue_depth, name=f"mica-q{i}")
             for i in range(config.workers)]
-        context_costs = ContextCosts(
-            spawn_ns=self.costs.context_spawn_ns,
-            save_ns=self.costs.context_save_ns,
-            restore_ns=self.costs.context_restore_ns)
-        self.workers = [
-            WorkerCore(sim, worker_id=i,
-                       thread=self.machine.allocate_dedicated_core(f"worker{i}"),
-                       context_costs=context_costs, preemption=None)
-            for i in range(config.workers)]
+        self.workers = spawn_worker_pool(
+            sim, self.machine, config.workers, self.costs)
 
     def _start(self) -> None:
         for worker in self.workers:
             process = self.sim.process(
-                self._worker_loop(worker),
+                fifo_worker_loop(self, worker, self.queues[worker.worker_id]),
                 label=f"mica-worker{worker.worker_id}")
             worker.attach_process(process)
 
@@ -110,18 +107,3 @@ class MicaSystem(BaseSystem):
         queue_index = self._partition_of(request)
         if not self.queues[queue_index].try_put(request):
             self.drop(request)
-
-    # -- run-to-completion workers -----------------------------------------------------
-
-    def _worker_loop(self, worker: WorkerCore):
-        queue = self.queues[worker.worker_id]
-        thread = worker.thread
-        while True:
-            worker.begin_wait()
-            request = yield queue.get()
-            worker.end_wait()
-            yield thread.execute(self.costs.networker_pkt_ns)
-            yield thread.execute(self.costs.worker_rx_ns)
-            yield from worker.run_request(request)
-            yield thread.execute(self.costs.worker_response_tx_ns)
-            self.respond(request)

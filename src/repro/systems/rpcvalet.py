@@ -19,14 +19,14 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.config import HostMachineConfig
 from repro.errors import ConfigError
-from repro.hw.cpu import HostMachine
 from repro.metrics.collector import MetricsCollector
-from repro.runtime.context import ContextCosts
 from repro.runtime.request import Request
 from repro.runtime.taskqueue import TaskQueue
 from repro.runtime.worker import WorkerCore
 from repro.sim.rng import RngRegistry
 from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
+from repro.systems.parts import build_host_machine, spawn_worker_pool
+from repro.systems.registry import register_system
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
@@ -52,6 +52,10 @@ class RpcValetConfig:
             raise ConfigError("hardware costs must be non-negative")
 
 
+@register_system(
+    "rpcvalet", config=RpcValetConfig,
+    description="NI-integrated hardware central queue: nanosecond "
+                "assignment, no preemption")
 class RpcValetSystem(BaseSystem):
     """A hardware global queue feeding integrated per-core NIs."""
 
@@ -59,28 +63,18 @@ class RpcValetSystem(BaseSystem):
 
     def __init__(self, sim: "Simulator", rngs: RngRegistry,
                  metrics: MetricsCollector,
-                 config: RpcValetConfig = RpcValetConfig(),
+                 config: Optional[RpcValetConfig] = None,
                  client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
                  tracer: Optional["Tracer"] = None):
         super().__init__(sim, rngs, metrics, client_wire_ns, tracer)
-        self.config = config
+        self.config = config = (config if config is not None
+                                else RpcValetConfig())
         self.costs = config.host.costs
-        self.machine = HostMachine(
-            sim, sockets=config.host.sockets,
-            cores_per_socket=config.host.cores_per_socket,
-            clock_ghz=config.host.clock_ghz,
-            smt=config.host.threads_per_core)
+        self.machine = build_host_machine(sim, config.host)
         self.task_queue = TaskQueue(sim, capacity=config.queue_capacity,
                                     name="rpcvalet-q")
-        context_costs = ContextCosts(
-            spawn_ns=self.costs.context_spawn_ns,
-            save_ns=self.costs.context_save_ns,
-            restore_ns=self.costs.context_restore_ns)
-        self.workers = [
-            WorkerCore(sim, worker_id=i,
-                       thread=self.machine.allocate_dedicated_core(f"worker{i}"),
-                       context_costs=context_costs, preemption=None)
-            for i in range(config.workers)]
+        self.workers = spawn_worker_pool(
+            sim, self.machine, config.workers, self.costs)
 
     def _start(self) -> None:
         for worker in self.workers:

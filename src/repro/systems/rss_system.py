@@ -17,27 +17,24 @@ from typing import List, Optional, TYPE_CHECKING
 
 from repro.config import HostMachineConfig
 from repro.errors import ConfigError
-from repro.hw.cpu import HostMachine
 from repro.metrics.collector import MetricsCollector
-from repro.net.addressing import FiveTuple
 from repro.net.rss import RssSteering
-from repro.runtime.context import ContextCosts
 from repro.runtime.request import Request
 from repro.runtime.worker import WorkerCore
 from repro.sim.primitives import Store
 from repro.sim.rng import RngRegistry
 from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
+from repro.systems.parts import (
+    build_host_machine,
+    run_to_completion,
+    service_flow,
+    spawn_worker_pool,
+)
+from repro.systems.registry import register_system
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
     from repro.sim.trace import Tracer
-
-#: IANA protocol number for UDP.
-_PROTO_UDP = 17
-#: The service's IP, as hashed into the 5-tuple.
-_SERVICE_IP = 0x0A00000A
-#: The service's UDP port.
-_SERVICE_PORT = 9000
 
 
 @dataclass(frozen=True)
@@ -73,6 +70,10 @@ class RssSystemConfig:
             raise ConfigError("poll_round_ns must be non-negative")
 
 
+@register_system(
+    "rss", config=RssSystemConfig,
+    description="IX-style d-FCFS: per-core FIFO queues fed by "
+                "hardware RSS, run to completion")
 class RssSystem(BaseSystem):
     """Per-core d-FCFS queues fed by hardware RSS."""
 
@@ -80,30 +81,20 @@ class RssSystem(BaseSystem):
 
     def __init__(self, sim: "Simulator", rngs: RngRegistry,
                  metrics: MetricsCollector,
-                 config: RssSystemConfig = RssSystemConfig(),
+                 config: Optional[RssSystemConfig] = None,
                  client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
                  tracer: Optional["Tracer"] = None):
         super().__init__(sim, rngs, metrics, client_wire_ns, tracer)
-        self.config = config
+        self.config = config = (config if config is not None
+                                else RssSystemConfig())
         self.costs = config.host.costs
-        self.machine = HostMachine(
-            sim, sockets=config.host.sockets,
-            cores_per_socket=config.host.cores_per_socket,
-            clock_ghz=config.host.clock_ghz,
-            smt=config.host.threads_per_core)
+        self.machine = build_host_machine(sim, config.host)
         self.rss = RssSteering(n_queues=config.workers)
         self.queues: List[Store] = [
             Store(sim, capacity=config.rx_queue_depth, name=f"rss-q{i}")
             for i in range(config.workers)]
-        context_costs = ContextCosts(
-            spawn_ns=self.costs.context_spawn_ns,
-            save_ns=self.costs.context_save_ns,
-            restore_ns=self.costs.context_restore_ns)
-        self.workers = [
-            WorkerCore(sim, worker_id=i,
-                       thread=self.machine.allocate_dedicated_core(f"worker{i}"),
-                       context_costs=context_costs, preemption=None)
-            for i in range(config.workers)]
+        self.workers = spawn_worker_pool(
+            sim, self.machine, config.workers, self.costs)
         #: Poll rounds that served more than one request (diagnostics).
         self.batched_rounds = 0
 
@@ -116,14 +107,9 @@ class RssSystem(BaseSystem):
 
     # -- steering -------------------------------------------------------------
 
-    def _flow_of(self, request: Request) -> FiveTuple:
-        return FiveTuple(src_ip=request.src_ip, dst_ip=_SERVICE_IP,
-                         src_port=request.src_port, dst_port=_SERVICE_PORT,
-                         protocol=_PROTO_UDP)
-
     def _server_ingress(self, request: Request) -> None:
         request.stamp("nic_rx", self.sim.now)
-        queue_index = self.rss.steer_flow(self._flow_of(request))
+        queue_index = self.rss.steer_flow(service_flow(request))
         if not self.queues[queue_index].try_put(request):
             self.drop(request)
 
@@ -131,7 +117,6 @@ class RssSystem(BaseSystem):
 
     def _worker_loop(self, worker: WorkerCore):
         queue = self.queues[worker.worker_id]
-        thread = worker.thread
         batch_max = self.config.batch_max
         while True:
             worker.begin_wait()
@@ -147,11 +132,6 @@ class RssSystem(BaseSystem):
                 batch.append(more)
             if len(batch) > 1:
                 self.batched_rounds += 1
-            yield thread.execute(self.config.poll_round_ns)
+            yield worker.thread.execute(self.config.poll_round_ns)
             for item in batch:
-                # Per-request packet processing (no dispatcher).
-                yield thread.execute(self.costs.networker_pkt_ns)
-                yield thread.execute(self.costs.worker_rx_ns)
-                yield from worker.run_request(item)
-                yield thread.execute(self.costs.worker_response_tx_ns)
-                self.respond(item)
+                yield from run_to_completion(self, worker, item)

@@ -7,9 +7,10 @@ load imbalance.  Moreover, one physical core is dedicated to each
 dispatcher in the system."
 
 This system instantiates D independent Shinjuku pipelines (networker +
-dispatcher hyperthread pair each) with the workers statically
-partitioned among them, and RSS hashing flows to shards.  It exists to
-quantify §2.2-3's two costs:
+dispatcher hyperthread pair each, each one a
+:class:`~repro.systems.parts.HostShinjukuPipeline`) with the workers
+statically partitioned among them, and RSS hashing flows to shards.
+It exists to quantify §2.2-3's two costs:
 
 1. the dispatch-core tax — D physical cores lost to scheduling; and
 2. re-introduced load imbalance — a shard's centralized queue only
@@ -19,32 +20,26 @@ quantify §2.2-3's two costs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, TYPE_CHECKING
+from typing import List, TYPE_CHECKING, Optional
 
 from repro.config import HostMachineConfig, PreemptionConfig
-from repro.core.policy import CentralizedFifoPolicy
-from repro.core.preemption import PreemptionDriver
-from repro.core.queuing import OutstandingTracker
 from repro.errors import ConfigError
-from repro.hw.cpu import HostMachine
 from repro.metrics.collector import MetricsCollector
-from repro.net.addressing import FiveTuple
 from repro.net.rss import RssSteering
-from repro.runtime.context import ContextCosts
 from repro.runtime.request import Request
-from repro.runtime.taskqueue import TaskQueue
-from repro.runtime.worker import ExecutionOutcome, WorkerCore
-from repro.sim.primitives import Signal, Store
 from repro.sim.rng import RngRegistry
-from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS, NotifyMessage
+from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
+from repro.systems.parts import (
+    HostShinjukuPipeline,
+    build_host_machine,
+    service_flow,
+    spawn_worker_pool,
+)
+from repro.systems.registry import register_system
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
     from repro.sim.trace import Tracer
-
-_PROTO_UDP = 17
-_SERVICE_IP = 0x0A00000A
-_SERVICE_PORT = 9000
 
 
 @dataclass(frozen=True)
@@ -73,140 +68,19 @@ class ShardedShinjukuConfig:
         return self.shards
 
 
-class _Shard:
+class _Shard(HostShinjukuPipeline):
     """One independent Shinjuku pipeline over a worker subset."""
 
-    def __init__(self, system: "ShardedShinjukuSystem", index: int,
-                 workers: List[WorkerCore]):
-        sim = system.sim
-        self.system = system
-        self.index = index
-        self.workers = workers
-        self.costs = system.costs
-        machine = system.machine
-        self.networker_thread = machine.allocate_thread(
-            f"shard{index}-networker")
-        self.dispatcher_thread = machine.allocate_thread(
-            f"shard{index}-dispatcher",
-            share_core_with=self.networker_thread)
-        self.rx_ring: Store = Store(sim, capacity=4096,
-                                    name=f"shard{index}-rxring")
-        self.ingest: Store = Store(sim, name=f"shard{index}-ingest")
-        self.notifications: Store = Store(sim, name=f"shard{index}-notify")
-        self.mailboxes: List[Store] = [
-            Store(sim, capacity=1, name=f"shard{index}-mbox{w}")
-            for w in range(len(workers))]
-        self.task_queue = TaskQueue(sim, name=f"shard{index}-taskq")
-        self.tracker = OutstandingTracker(n_workers=len(workers), target=1)
-        self.policy = CentralizedFifoPolicy()
-        self.work_signal = Signal(sim, name=f"shard{index}-work")
-        #: Requests this shard has handled (imbalance statistic).
-        self.assigned = 0
-
-    def start(self) -> None:
-        sim = self.system.sim
-        sim.process(self._networker_loop(), label=f"shard{self.index}-net")
-        sim.process(self._dispatcher_loop(),
-                    label=f"shard{self.index}-disp")
-        for local_id, worker in enumerate(self.workers):
-            process = sim.process(
-                self._worker_loop(local_id, worker),
-                label=f"shard{self.index}-worker{local_id}")
-            worker.attach_process(process)
-
-    # -- shard pipeline (same structure as the unsharded system) -----------
-
-    def _networker_loop(self):
-        hop = self.costs.interthread_hop_ns
-        sim = self.system.sim
-        while True:
-            request = yield self.rx_ring.get()
-            yield self.networker_thread.execute(self.costs.networker_pkt_ns)
-
-            def _arrive(req=request) -> None:
-                self.ingest.try_put(req)
-                self.work_signal.fire()
-
-            if hop > 0:
-                sim.call_in(hop, _arrive)
-            else:
-                _arrive()
-
-    def _dispatcher_loop(self):
-        op = self.costs.dispatcher_op_ns
-        thread = self.dispatcher_thread
-        while True:
-            progressed = False
-            ok, message = self.notifications.try_get()
-            if ok:
-                yield thread.execute(op)
-                self.tracker.debit(message.worker_id)
-                if message.outcome == "preempted":
-                    self.task_queue.enqueue(message.request)
-                progressed = True
-            elif len(self.task_queue) > 0 and \
-                    (wid := self.policy.select_worker(
-                        self.tracker, self.task_queue.peek())) is not None:
-                ok, request = self.task_queue.try_dequeue()
-                assert ok and request is not None
-                yield thread.execute(op)
-                self._dispatch(request, wid)
-                progressed = True
-            else:
-                ok, request = self.ingest.try_get()
-                if ok:
-                    yield thread.execute(op)
-                    self.task_queue.enqueue(request)
-                    progressed = True
-            if not progressed:
-                yield self.work_signal.wait()
-
-    def _dispatch(self, request: Request, local_id: int) -> None:
-        sim = self.system.sim
-        self.tracker.credit(local_id)
-        request.stamp("dispatched", sim.now)
-        self.assigned += 1
-        mailbox = self.mailboxes[local_id]
-        hop = self.costs.interthread_hop_ns
-        if hop > 0:
-            sim.call_in(hop, lambda: mailbox.try_put(request))
-        else:
-            mailbox.try_put(request)
-
-    def _worker_loop(self, local_id: int, worker: WorkerCore):
-        mailbox = self.mailboxes[local_id]
-        thread = worker.thread
-        while True:
-            worker.begin_wait()
-            request = yield mailbox.get()
-            worker.end_wait()
-            yield thread.execute(self.costs.worker_rx_ns)
-            outcome = yield from worker.run_request(request)
-            if outcome is ExecutionOutcome.FINISHED:
-                yield thread.execute(self.costs.worker_response_tx_ns)
-                self.system.respond(request)
-                yield thread.execute(self.costs.worker_notify_ns)
-                self._notify(local_id, "finished", request)
-            else:
-                yield thread.execute(self.costs.worker_notify_ns)
-                self._notify(local_id, "preempted", request)
-
-    def _notify(self, local_id: int, outcome: str, request: Request) -> None:
-        sim = self.system.sim
-        message = NotifyMessage(worker_id=local_id, outcome=outcome,
-                                request=request)
-
-        def _arrive() -> None:
-            self.notifications.try_put(message)
-            self.work_signal.fire()
-
-        hop = self.costs.interthread_hop_ns
-        if hop > 0:
-            sim.call_in(hop, _arrive)
-        else:
-            _arrive()
+    @property
+    def assigned(self) -> int:
+        """Requests this shard has handled (imbalance statistic)."""
+        return self.dispatched
 
 
+@register_system(
+    "sharded-shinjuku", config=ShardedShinjukuConfig,
+    description="RSS over D independent Shinjuku shards "
+                "(quantifies the §2.2-3 multi-dispatcher costs)")
 class ShardedShinjukuSystem(BaseSystem):
     """RSS over D independent Shinjuku shards."""
 
@@ -214,38 +88,29 @@ class ShardedShinjukuSystem(BaseSystem):
 
     def __init__(self, sim: "Simulator", rngs: RngRegistry,
                  metrics: MetricsCollector,
-                 config: ShardedShinjukuConfig = ShardedShinjukuConfig(),
+                 config: Optional[ShardedShinjukuConfig] = None,
                  client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
                  tracer: Optional["Tracer"] = None):
         super().__init__(sim, rngs, metrics, client_wire_ns, tracer)
-        self.config = config
+        self.config = config = (config if config is not None
+                                else ShardedShinjukuConfig())
         self.costs = config.host.costs
-        self.machine = HostMachine(
-            sim, sockets=config.host.sockets,
-            cores_per_socket=config.host.cores_per_socket,
-            clock_ghz=config.host.clock_ghz,
-            smt=config.host.threads_per_core)
+        self.machine = build_host_machine(sim, config.host)
         self.rss = RssSteering(n_queues=config.shards)
-        context_costs = ContextCosts(
-            spawn_ns=self.costs.context_spawn_ns,
-            save_ns=self.costs.context_save_ns,
-            restore_ns=self.costs.context_restore_ns)
         self.shards: List[_Shard] = []
         self.workers = []
         for shard_index in range(config.shards):
-            shard_workers = []
-            for w in range(config.workers_per_shard):
-                thread = self.machine.allocate_dedicated_core(
-                    f"shard{shard_index}-worker{w}")
-                preemption = None
-                if config.preemption.enabled:
-                    preemption = PreemptionDriver(thread, config.preemption)
-                worker = WorkerCore(
-                    sim, worker_id=len(self.workers), thread=thread,
-                    context_costs=context_costs, preemption=preemption)
-                shard_workers.append(worker)
-                self.workers.append(worker)
-            self.shards.append(_Shard(self, shard_index, shard_workers))
+            shard_workers = spawn_worker_pool(
+                sim, self.machine, config.workers_per_shard, self.costs,
+                preemption=config.preemption,
+                name_prefix=f"shard{shard_index}-worker",
+                first_worker_id=len(self.workers))
+            self.workers.extend(shard_workers)
+            shard = _Shard(sim, self.machine, self.costs,
+                           respond=self.respond, name=f"shard{shard_index}",
+                           mailbox_depth=1)
+            shard.attach_workers(shard_workers)
+            self.shards.append(shard)
 
     def _start(self) -> None:
         for shard in self.shards:
@@ -253,11 +118,8 @@ class ShardedShinjukuSystem(BaseSystem):
 
     def _server_ingress(self, request: Request) -> None:
         request.stamp("nic_rx", self.sim.now)
-        flow = FiveTuple(src_ip=request.src_ip, dst_ip=_SERVICE_IP,
-                         src_port=request.src_port, dst_port=_SERVICE_PORT,
-                         protocol=_PROTO_UDP)
-        shard = self.shards[self.rss.steer_flow(flow)]
-        if not shard.rx_ring.try_put(request):
+        shard = self.shards[self.rss.steer_flow(service_flow(request))]
+        if not shard.submit(request):
             self.drop(request)
 
     # -- diagnostics --------------------------------------------------------

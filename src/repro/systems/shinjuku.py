@@ -12,212 +12,111 @@ dispatcher costs ~200 ns per operation — the published 5 M RPS ceiling
 (§2.2-3) — and all host-side handoffs traverse cache-line mailboxes
 with a fixed inter-thread hop latency, which is what produces the ~2 µs
 inter-thread tail penalty of §2.2-4.
+
+The whole pipeline is one
+:class:`~repro.systems.parts.HostShinjukuPipeline` part; this class
+only provisions the hardware and binds ingress/egress to it.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from repro.config import ShinjukuConfig
-from repro.core.policy import CentralizedFifoPolicy, SchedulingPolicy
-from repro.core.preemption import PreemptionDriver
-from repro.core.queuing import OutstandingTracker
-from repro.hw.cpu import HostMachine
+from repro.core.policy import SchedulingPolicy
 from repro.metrics.collector import MetricsCollector
 from repro.runtime.request import Request
-from repro.runtime.context import ContextCosts
-from repro.runtime.taskqueue import TaskQueue
-from repro.runtime.worker import ExecutionOutcome, WorkerCore
-from repro.sim.primitives import Signal, Store
 from repro.sim.rng import RngRegistry
-from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS, NotifyMessage
+from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
+from repro.systems.parts import (
+    HostShinjukuPipeline,
+    build_host_machine,
+    spawn_worker_pool,
+)
+from repro.systems.registry import register_system
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
     from repro.sim.trace import Tracer
 
 
+@register_system(
+    "shinjuku", config=ShinjukuConfig,
+    description="host-resident centralized dispatcher with preemption "
+                "(the paper's CPU baseline)")
 class ShinjukuSystem(BaseSystem):
     """The host-resident Shinjuku pipeline."""
 
     name = "shinjuku"
 
-    RX_RING_DEPTH = 4096
+    RX_RING_DEPTH = HostShinjukuPipeline.RX_RING_DEPTH
 
     def __init__(self, sim: "Simulator", rngs: RngRegistry,
                  metrics: MetricsCollector,
-                 config: ShinjukuConfig = ShinjukuConfig(),
+                 config: Optional[ShinjukuConfig] = None,
                  policy: Optional[SchedulingPolicy] = None,
                  client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
                  tracer: Optional["Tracer"] = None):
         super().__init__(sim, rngs, metrics, client_wire_ns, tracer)
-        self.config = config
+        self.config = config = (config if config is not None
+                                else ShinjukuConfig())
         self.costs = config.host.costs
-        self.policy = policy if policy is not None else CentralizedFifoPolicy()
-        self.machine = HostMachine(
-            sim, sockets=config.host.sockets,
-            cores_per_socket=config.host.cores_per_socket,
-            clock_ghz=config.host.clock_ghz,
-            smt=config.host.threads_per_core)
-        # §4.1 pinning: networker + dispatcher share one physical core.
-        self.networker_thread = self.machine.allocate_thread("networker")
-        self.dispatcher_thread = self.machine.allocate_thread(
-            "dispatcher", share_core_with=self.networker_thread)
-        # Workers each get their own physical core's first hyperthread.
-        self._worker_threads = [
-            self.machine.allocate_dedicated_core(f"worker{i}")
-            for i in range(config.workers)]
-        # -- queues and channels -------------------------------------------------
-        self.rx_ring: Store = Store(sim, capacity=self.RX_RING_DEPTH,
-                                    name="shinjuku-rxring")
-        self._dispatcher_ingest: Store = Store(sim, name="shinjuku-ingest")
-        self._notifications: Store = Store(sim, name="shinjuku-notify")
-        self._mailboxes: List[Store] = [
-            Store(sim, capacity=config.worker_mailbox_depth,
-                  name=f"shinjuku-mbox{i}")
-            for i in range(config.workers)]
-        self.task_queue = TaskQueue(sim, name="shinjuku-taskq")
-        self.tracker = OutstandingTracker(
-            n_workers=config.workers, target=config.worker_mailbox_depth)
-        self._work_signal = Signal(sim, name="shinjuku-work")
-        # -- workers -------------------------------------------------------------
-        context_costs = ContextCosts(
-            spawn_ns=self.costs.context_spawn_ns,
-            save_ns=self.costs.context_save_ns,
-            restore_ns=self.costs.context_restore_ns)
-        self.workers: List[WorkerCore] = []
-        for i, thread in enumerate(self._worker_threads):
-            preemption = None
-            if config.preemption.enabled:
-                preemption = PreemptionDriver(thread, config.preemption)
-            self.workers.append(WorkerCore(
-                sim, worker_id=i, thread=thread,
-                context_costs=context_costs, preemption=preemption))
-        # -- statistics ------------------------------------------------------------
-        self.dispatched = 0
+        self.machine = build_host_machine(sim, config.host)
+        self.pipeline = HostShinjukuPipeline(
+            sim, self.machine, self.costs, respond=self.respond,
+            name=self.name, policy=policy,
+            mailbox_depth=config.worker_mailbox_depth,
+            tracer=tracer, tracer_scope=self.name)
+        self.workers = spawn_worker_pool(
+            sim, self.machine, config.workers, self.costs,
+            preemption=config.preemption)
+        self.pipeline.attach_workers(self.workers)
+
+    # -- pipeline views (diagnostics and benches poke these) -----------------------
+
+    @property
+    def policy(self) -> SchedulingPolicy:
+        """The dispatcher's worker-selection policy."""
+        return self.pipeline.policy
+
+    @property
+    def networker_thread(self):
+        """The hyperthread running the networking subsystem."""
+        return self.pipeline.networker_thread
+
+    @property
+    def dispatcher_thread(self):
+        """The hyperthread running the dispatcher (shares the core)."""
+        return self.pipeline.dispatcher_thread
+
+    @property
+    def rx_ring(self):
+        """The NIC RX descriptor ring feeding the networker."""
+        return self.pipeline.rx_ring
+
+    @property
+    def task_queue(self):
+        """The centralized task queue the dispatcher drains."""
+        return self.pipeline.task_queue
+
+    @property
+    def tracker(self):
+        """The per-worker outstanding-request credit tracker."""
+        return self.pipeline.tracker
+
+    @property
+    def dispatched(self) -> int:
+        """Total requests the dispatcher has assigned to workers."""
+        return self.pipeline.dispatched
 
     # -- lifecycle -----------------------------------------------------------------
 
     def _start(self) -> None:
-        self.sim.process(self._networker_loop(), label="shinjuku-networker")
-        self.sim.process(self._dispatcher_loop(), label="shinjuku-dispatcher")
-        for worker in self.workers:
-            process = self.sim.process(self._worker_loop(worker),
-                                       label=f"shinjuku-worker{worker.worker_id}")
-            worker.attach_process(process)
+        self.pipeline.start()
 
     # -- ingress ---------------------------------------------------------------------
 
     def _server_ingress(self, request: Request) -> None:
         request.stamp("nic_rx", self.sim.now)
-        if not self.rx_ring.try_put(request):
+        if not self.pipeline.submit(request):
             self.drop(request)
-
-    # -- the networking subsystem -------------------------------------------------------
-
-    def _networker_loop(self):
-        hop = self.costs.interthread_hop_ns
-        while True:
-            request = yield self.rx_ring.get()
-            yield self.networker_thread.execute(self.costs.networker_pkt_ns)
-            request.stamp("networker_done", self.sim.now)
-            self._handoff_to_dispatcher(request, hop)
-
-    def _handoff_to_dispatcher(self, request: Request, hop: float) -> None:
-        def _arrive() -> None:
-            self._dispatcher_ingest.try_put(request)
-            self._work_signal.fire()
-        if hop > 0:
-            self.sim.call_in(hop, _arrive)
-        else:
-            _arrive()
-
-    # -- the dispatcher ------------------------------------------------------------------
-
-    def _dispatcher_loop(self):
-        """One thread serializes: notifications, dispatch, then ingest.
-
-        Priority order matters under overload: worker notifications
-        free credits and dispatches keep workers fed; new arrivals can
-        wait in the networker handoff.  Ingesting first would let an
-        arrival flood starve dispatching and collapse goodput.
-        """
-        op = self.costs.dispatcher_op_ns
-        thread = self.dispatcher_thread
-        while True:
-            progressed = False
-            ok, message = self._notifications.try_get()
-            if ok:
-                yield thread.execute(op)
-                self._handle_notification(message)
-                progressed = True
-            elif len(self.task_queue) > 0 and \
-                    (worker_id := self.policy.select_worker(
-                        self.tracker, self.task_queue.peek())) is not None:
-                ok, request = self.task_queue.try_dequeue()
-                assert ok and request is not None
-                yield thread.execute(op)
-                self._dispatch(request, worker_id)
-                progressed = True
-            else:
-                ok, request = self._dispatcher_ingest.try_get()
-                if ok:
-                    yield thread.execute(op)
-                    self.task_queue.enqueue(request)
-                    progressed = True
-            if not progressed:
-                yield self._work_signal.wait()
-
-    def _handle_notification(self, message: NotifyMessage) -> None:
-        self.tracker.debit(message.worker_id)
-        if message.outcome == "preempted":
-            # Tail of the centralized queue (§3.4.1 semantics).
-            self.task_queue.enqueue(message.request)
-
-    def _dispatch(self, request: Request, worker_id: int) -> None:
-        self.tracker.credit(worker_id)
-        request.stamp("dispatched", self.sim.now)
-        self.dispatched += 1
-        mailbox = self._mailboxes[worker_id]
-        hop = self.costs.interthread_hop_ns
-        if hop > 0:
-            self.sim.call_in(hop, lambda: mailbox.try_put(request))
-        else:
-            mailbox.try_put(request)
-        if self.tracer is not None:
-            self.tracer.emit(self.name, "dispatch",
-                             request=request.request_id, worker=worker_id)
-
-    # -- workers ----------------------------------------------------------------------------
-
-    def _worker_loop(self, worker: WorkerCore):
-        mailbox = self._mailboxes[worker.worker_id]
-        thread = worker.thread
-        while True:
-            worker.begin_wait()
-            request = yield mailbox.get()
-            worker.end_wait()
-            yield thread.execute(self.costs.worker_rx_ns)
-            outcome = yield from worker.run_request(request)
-            if outcome is ExecutionOutcome.FINISHED:
-                yield thread.execute(self.costs.worker_response_tx_ns)
-                self.respond(request)
-                yield thread.execute(self.costs.worker_notify_ns)
-                self._notify(worker.worker_id, "finished", request)
-            else:
-                yield thread.execute(self.costs.worker_notify_ns)
-                self._notify(worker.worker_id, "preempted", request)
-
-    def _notify(self, worker_id: int, outcome: str, request: Request) -> None:
-        message = NotifyMessage(worker_id=worker_id, outcome=outcome,
-                                request=request)
-        hop = self.costs.interthread_hop_ns
-
-        def _arrive() -> None:
-            self._notifications.try_put(message)
-            self._work_signal.fire()
-
-        if hop > 0:
-            self.sim.call_in(hop, _arrive)
-        else:
-            _arrive()

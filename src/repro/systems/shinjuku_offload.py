@@ -29,11 +29,10 @@ from repro.core.feedback import CoreStatusBoard
 from repro.core.nic_dispatcher import NicDispatcherPipeline
 from repro.core.nic_scan import NicPreemptionScanner
 from repro.core.policy import SchedulingPolicy
-from repro.core.preemption import PreemptionDriver
 from repro.core.queuing import OutstandingTracker
 from repro.errors import ConfigError
 from repro.hw.cache import DdioModel
-from repro.hw.cpu import CpuCore, HostMachine
+from repro.hw.cpu import CpuCore
 from repro.hw.smartnic import FabricDomain, StingraySmartNic
 from repro.metrics.collector import MetricsCollector
 from repro.net.addressing import IpAddress, MacAddress, mac_allocator
@@ -44,11 +43,12 @@ from repro.net.packet import (
     ResponsePayload,
     make_udp_packet,
 )
-from repro.runtime.context import ContextCosts
 from repro.runtime.request import Request
 from repro.runtime.worker import ExecutionOutcome, WorkerCore
 from repro.sim.rng import RngRegistry
 from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
+from repro.systems.parts import build_host_machine, spawn_worker_pool
+from repro.systems.registry import register_system
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
@@ -58,6 +58,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 SERVICE_PORT = 9000
 
 
+@register_system(
+    "shinjuku-offload", config=ShinjukuOffloadConfig,
+    description="the paper's prototype: Shinjuku networker + "
+                "dispatcher on Stingray ARM cores, workers on host x86")
 class ShinjukuOffloadSystem(BaseSystem):
     """Shinjuku with networking subsystem + dispatcher on the SmartNIC."""
 
@@ -65,13 +69,14 @@ class ShinjukuOffloadSystem(BaseSystem):
 
     def __init__(self, sim: "Simulator", rngs: RngRegistry,
                  metrics: MetricsCollector,
-                 config: ShinjukuOffloadConfig = ShinjukuOffloadConfig(),
+                 config: Optional[ShinjukuOffloadConfig] = None,
                  policy: Optional[SchedulingPolicy] = None,
                  client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
                  ddio: Optional[DdioModel] = None,
                  tracer: Optional["Tracer"] = None):
         super().__init__(sim, rngs, metrics, client_wire_ns, tracer)
-        self.config = config
+        self.config = config = (config if config is not None
+                                else ShinjukuOffloadConfig())
         #: Optional DDIO payload-placement model (§5.2).  When set, the
         #: worker pays a first-touch cost that depends on where the NIC
         #: placed the payload — which in turn depends on how many
@@ -85,11 +90,7 @@ class ShinjukuOffloadSystem(BaseSystem):
         self._macs = mac_allocator()
         self.nic = StingraySmartNic(sim, config.nic, macs=self._macs)
         self.nic.attach_uplink(self._uplink_egress)
-        self.machine = HostMachine(
-            sim, sockets=config.host.sockets,
-            cores_per_socket=config.host.cores_per_socket,
-            clock_ghz=config.host.clock_ghz,
-            smt=config.host.threads_per_core)
+        self.machine = build_host_machine(sim, config.host)
         # ARM cores (no SMT on the A72 cluster).
         self._arm_cores = [
             CpuCore(sim, f"arm{i}", config.nic.arm_clock_ghz, smt=1)
@@ -115,27 +116,14 @@ class ShinjukuOffloadSystem(BaseSystem):
         self.client_mac: MacAddress = next(self._macs)
         self.client_ip = IpAddress.parse("10.0.2.1")
         # -- workers ---------------------------------------------------------------------
-        self._worker_threads = [
-            self.machine.allocate_dedicated_core(f"worker{i}")
-            for i in range(config.workers)]
-        host_costs = config.host.costs
-        context_costs = ContextCosts(
-            spawn_ns=host_costs.context_spawn_ns,
-            save_ns=host_costs.context_save_ns,
-            restore_ns=host_costs.context_restore_ns)
         #: NIC-driven preemption (mechanism "nic_scan"): workers carry
         #: no local timer; the NIC tracks execution status and sends
         #: interrupts itself (§3.2-4).
         nic_driven = (config.preemption.enabled
                       and config.preemption.mechanism == "nic_scan")
-        self.workers: List[WorkerCore] = []
-        for i, thread in enumerate(self._worker_threads):
-            preemption = None
-            if config.preemption.enabled and not nic_driven:
-                preemption = PreemptionDriver(thread, config.preemption)
-            self.workers.append(WorkerCore(
-                sim, worker_id=i, thread=thread,
-                context_costs=context_costs, preemption=preemption))
+        self.workers: List[WorkerCore] = spawn_worker_pool(
+            sim, self.machine, config.workers, config.host.costs,
+            preemption=(None if nic_driven else config.preemption))
         # -- the dispatcher pipeline ---------------------------------------------------------
         self.tracker = OutstandingTracker(
             n_workers=config.workers, target=config.outstanding_per_worker)

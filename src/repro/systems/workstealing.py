@@ -17,24 +17,24 @@ from typing import List, Optional, TYPE_CHECKING
 
 from repro.config import HostMachineConfig
 from repro.errors import ConfigError
-from repro.hw.cpu import HostMachine
 from repro.metrics.collector import MetricsCollector
-from repro.net.addressing import FiveTuple
 from repro.net.rss import RssSteering
-from repro.runtime.context import ContextCosts
 from repro.runtime.request import Request
 from repro.runtime.worker import WorkerCore
 from repro.sim.primitives import Signal, Store
 from repro.sim.rng import RngRegistry
 from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
+from repro.systems.parts import (
+    build_host_machine,
+    run_to_completion,
+    service_flow,
+    spawn_worker_pool,
+)
+from repro.systems.registry import register_system
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
     from repro.sim.trace import Tracer
-
-_PROTO_UDP = 17
-_SERVICE_IP = 0x0A00000A
-_SERVICE_PORT = 9000
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,10 @@ class WorkStealingConfig:
             raise ConfigError("steal costs must be non-negative")
 
 
+@register_system(
+    "workstealing", config=WorkStealingConfig,
+    description="ZygOS-style RSS dataplane with idle-time work "
+                "stealing across per-core queues")
 class WorkStealingSystem(BaseSystem):
     """RSS-fed per-core queues with idle-time work stealing."""
 
@@ -63,31 +67,21 @@ class WorkStealingSystem(BaseSystem):
 
     def __init__(self, sim: "Simulator", rngs: RngRegistry,
                  metrics: MetricsCollector,
-                 config: WorkStealingConfig = WorkStealingConfig(),
+                 config: Optional[WorkStealingConfig] = None,
                  client_wire_ns: float = DEFAULT_CLIENT_WIRE_NS,
                  tracer: Optional["Tracer"] = None):
         super().__init__(sim, rngs, metrics, client_wire_ns, tracer)
-        self.config = config
+        self.config = config = (config if config is not None
+                                else WorkStealingConfig())
         self.costs = config.host.costs
-        self.machine = HostMachine(
-            sim, sockets=config.host.sockets,
-            cores_per_socket=config.host.cores_per_socket,
-            clock_ghz=config.host.clock_ghz,
-            smt=config.host.threads_per_core)
+        self.machine = build_host_machine(sim, config.host)
         self.rss = RssSteering(n_queues=config.workers)
         self.queues: List[Store] = [
             Store(sim, capacity=config.rx_queue_depth, name=f"zygos-q{i}")
             for i in range(config.workers)]
         self._work_signal = Signal(sim, name="zygos-work")
-        context_costs = ContextCosts(
-            spawn_ns=self.costs.context_spawn_ns,
-            save_ns=self.costs.context_save_ns,
-            restore_ns=self.costs.context_restore_ns)
-        self.workers = [
-            WorkerCore(sim, worker_id=i,
-                       thread=self.machine.allocate_dedicated_core(f"worker{i}"),
-                       context_costs=context_costs, preemption=None)
-            for i in range(config.workers)]
+        self.workers = spawn_worker_pool(
+            sim, self.machine, config.workers, self.costs)
         #: Successful steals (diagnostics; §2.2-4's "high work-stealing rate").
         self.steals = 0
         #: Remote-queue probes that found nothing.
@@ -102,14 +96,9 @@ class WorkStealingSystem(BaseSystem):
 
     # -- steering ---------------------------------------------------------------
 
-    def _flow_of(self, request: Request) -> FiveTuple:
-        return FiveTuple(src_ip=request.src_ip, dst_ip=_SERVICE_IP,
-                         src_port=request.src_port, dst_port=_SERVICE_PORT,
-                         protocol=_PROTO_UDP)
-
     def _server_ingress(self, request: Request) -> None:
         request.stamp("nic_rx", self.sim.now)
-        queue_index = self.rss.steer_flow(self._flow_of(request))
+        queue_index = self.rss.steer_flow(service_flow(request))
         if self.queues[queue_index].try_put(request):
             self._work_signal.fire()
         else:
@@ -119,8 +108,6 @@ class WorkStealingSystem(BaseSystem):
 
     def _worker_loop(self, worker: WorkerCore):
         my_queue = self.queues[worker.worker_id]
-        thread = worker.thread
-        n = self.config.workers
         while True:
             ok, request = my_queue.try_get()
             if not ok:
@@ -132,11 +119,7 @@ class WorkStealingSystem(BaseSystem):
                 yield self._work_signal.wait()
                 worker.end_wait()
                 continue
-            yield thread.execute(self.costs.networker_pkt_ns)
-            yield thread.execute(self.costs.worker_rx_ns)
-            yield from worker.run_request(request)
-            yield thread.execute(self.costs.worker_response_tx_ns)
-            self.respond(request)
+            yield from run_to_completion(self, worker, request)
 
     def _steal_scan(self, worker: WorkerCore):
         """Probe remote queues round-robin; returns a request or None."""
