@@ -454,6 +454,54 @@ class HashSeedRule(Rule):
             yield self.finding(ctx, node)
 
 
+class FaultStreamRule(Rule):
+    """Flag fault-injection RNG draws outside the ``faults.*`` streams.
+
+    The fault injector's stochastic decisions (per-packet loss,
+    feedback loss) must come from streams under the ``faults.``
+    namespace so that a null plan — which never creates those streams —
+    leaves every other component's draw sequence untouched.  A fault
+    module drawing from, say, ``stream('service')`` would perturb the
+    workload's RNG and break the fault-free bit-identity guarantee.
+    Only files under a ``faults`` package are checked.
+    """
+
+    rule_id = "fault-stream"
+    severity = Severity.ERROR
+    summary = ("fault-injection code draws from an RNG stream outside "
+               "the faults.* namespace")
+    hint = ("name the stream under the fault namespace: "
+            "rngs.stream('faults.<component>')")
+
+    @staticmethod
+    def _applies(ctx: FileContext) -> bool:
+        normalized = ctx.path.replace("\\", "/")
+        return "faults" in normalized.split("/")
+
+    def check(self, module: ast.Module,
+              ctx: FileContext) -> Iterator[Finding]:
+        """Yield stream() calls with names outside ``faults.`` (fault
+        modules only)."""
+        if not self._applies(ctx):
+            return
+        for node in ast.walk(module):
+            if not isinstance(node, ast.Call):
+                continue
+            if _terminal_name(node.func) != "stream":
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)):
+                continue
+            if not first.value.startswith("faults."):
+                yield self.finding(
+                    ctx, node,
+                    f"fault module draws from stream({first.value!r}) "
+                    "outside the faults.* namespace")
+
+
 #: The active rule set, in reporting order.  ``repro lint`` runs every
 #: rule here; tests iterate it to guarantee coverage per rule.
 ALL_RULES: Tuple[Rule, ...] = (
@@ -463,6 +511,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     FloatTimeEqRule(),
     MutableDefaultRule(),
     HashSeedRule(),
+    FaultStreamRule(),
 )
 
 

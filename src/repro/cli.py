@@ -23,6 +23,7 @@ import argparse
 import os
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
@@ -47,6 +48,7 @@ from repro.experiments.executor import (
 )
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.harness import RunConfig, run_point
+from repro.faults.plan import parse_fault_spec
 from repro.experiments.report import (
     render_executor_stats,
     render_figure,
@@ -121,6 +123,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--scale", type=float, default=1.0,
         help="horizon scale factor (smaller = faster, noisier)")
+    run_parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault scenario, comma-separated key=value "
+             "(e.g. 'link-loss=0.02,timeout-us=200,retries=2'; "
+             "crash=WID@US, stall=WID@US+US, queue-cap=N, ...)")
     add_executor_args(run_parser)
 
     t1_parser = sub.add_parser(
@@ -185,6 +192,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     """Run one (system, rate) point by registry name and report it."""
     factory = ConfiguredFactory.by_name(args.system)
     config = RunConfig(seed=args.seed).scaled(args.scale)
+    if getattr(args, "faults", None):
+        config = replace(config, faults=parse_fault_spec(args.faults))
     distribution = Fixed(us(args.service_us))
     executor = _make_executor(args)
     _apply_sanitize_flag(args)
@@ -210,6 +219,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"p99.9 {latency.p999_ns / 1e3:.2f}us")
     print(f"  preemptions {metrics.preemptions}  "
           f"worker wait {metrics.worker_wait_fraction:.1%}")
+    if metrics.faults is not None:
+        faults = metrics.faults
+        print(f"  faults      link drops {faults.link_drops} "
+              f"corrupt {faults.link_corruptions} "
+              f"reorder {faults.link_reorders}  "
+              f"feedback lost {faults.feedback_lost}  "
+              f"crashes {faults.worker_crashes} "
+              f"stalls {faults.worker_stalls}")
+        print(f"  drops       overflow {faults.drops_overflow}  "
+              f"fault {faults.drops_fault}  "
+              f"timeout {faults.drops_timeout}")
+        print(f"  recovery    retries {faults.retries} "
+              f"({faults.retry_successes} ok)  "
+              f"failovers {faults.failovers} "
+              f"({faults.failover_successes} ok)  "
+              f"stale fallbacks {faults.stale_fallbacks}")
+        print(f"  goodput     {faults.goodput_rps / 1e3:.1f}k RPS "
+              f"(unassisted completions)")
     if executor is not None:
         print(render_executor_stats(executor.stats, jobs=executor.jobs))
     print(f"[{args.system} point in {elapsed:.1f}s]")

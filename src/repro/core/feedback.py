@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.config import ARM_HOST_ONE_WAY_NS
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FeedbackError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
@@ -65,6 +65,15 @@ class CoreStatusBoard:
         status.updated_at = self.sim.now
         self._status[status.worker_id] = status
         self.updates += 1
+
+    def knows(self, worker_id: int) -> bool:
+        """Whether this board tracks *worker_id*."""
+        return worker_id in self._status
+
+    @property
+    def n_workers(self) -> int:
+        """Number of workers tracked by this board."""
+        return len(self._status)
 
     def get(self, worker_id: int) -> WorkerStatus:
         """The current (possibly stale) status of one worker."""
@@ -125,14 +134,33 @@ class FeedbackChannel:
         self.on_update = on_update
         #: Updates sent (diagnostics).
         self.sent = 0
+        #: Updates dropped by fault injection (diagnostics).
+        self.lost = 0
 
     def send(self, status: WorkerStatus) -> None:
-        """Ship *status*; it lands on the board ``latency_ns`` later."""
+        """Ship *status*; it lands on the board ``latency_ns`` later.
+
+        Raises :class:`~repro.errors.FeedbackError` eagerly — at the
+        sender, not ``latency_ns`` later inside a callback — when the
+        destination board does not track ``status.worker_id``.
+        """
+        if not self.board.knows(status.worker_id):
+            raise FeedbackError(
+                f"feedback for unknown worker {status.worker_id}: the "
+                f"destination board tracks workers "
+                f"0..{self.board.n_workers - 1}")
         self.sent += 1
-        if self.latency_ns <= 0:
+        latency = self.latency_ns
+        injector = self.sim.fault_injector
+        if injector is not None and injector.feedback_active:
+            if injector.feedback_lost():
+                self.lost += 1
+                return
+            latency += injector.feedback_staleness_ns()
+        if latency <= 0:
             self._apply(status)
         else:
-            self.sim.call_in(self.latency_ns, lambda: self._apply(status))
+            self.sim.call_in(latency, lambda: self._apply(status))
 
     def _apply(self, status: WorkerStatus) -> None:
         self.board.apply(status)

@@ -264,6 +264,10 @@ class NicDispatcherPipeline:
                 self.preemption_returns += 1
                 # Back to the tail of the centralized queue (§3.4.1).
                 self._ingest.try_put(payload.request)
+            elif payload.outcome == "cancelled":
+                # The worker skipped a request reaped while queued; the
+                # debit above released its credit — nothing completed.
+                pass
             else:
                 self.completions += 1
             if self.tracer is not None:

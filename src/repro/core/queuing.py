@@ -44,6 +44,8 @@ class OutstandingTracker:
         self._rr_next = 0
         #: Peak total outstanding (diagnostics).
         self.max_total = 0
+        #: Workers taken out of rotation (crashed; fault injection).
+        self._down: set = set()
 
     def outstanding(self, worker_id: int) -> int:
         """Requests currently outstanding at *worker_id*."""
@@ -56,11 +58,22 @@ class OutstandingTracker:
 
     def has_capacity(self, worker_id: int) -> bool:
         """True if *worker_id* is below its outstanding target."""
+        if worker_id in self._down:
+            return False
         return self._outstanding[worker_id] < self.target
 
     def workers_below_target(self) -> List[int]:
         """Workers that can accept another request."""
-        return [w for w, n in self._outstanding.items() if n < self.target]
+        return [w for w, n in self._outstanding.items()
+                if n < self.target and w not in self._down]
+
+    def mark_down(self, worker_id: int) -> None:
+        """Take *worker_id* out of rotation (crashed core). Idempotent."""
+        self._down.add(worker_id)
+
+    def is_down(self, worker_id: int) -> bool:
+        """Whether *worker_id* has been marked down."""
+        return worker_id in self._down
 
     def select(self) -> Optional[int]:
         """The worker to dispatch to next, or None if all are full.
@@ -73,6 +86,8 @@ class OutstandingTracker:
         best_load: Optional[int] = None
         for offset in range(self.n_workers):
             wid = (self._rr_next + offset) % self.n_workers
+            if wid in self._down:
+                continue
             load = self._outstanding[wid]
             if load >= self.target:
                 continue

@@ -65,6 +65,14 @@ class TimerError(HardwareError):
     """Invalid use of the local-APIC timer model."""
 
 
+class FeedbackError(ReproError):
+    """Invalid use of the host->NIC feedback plane.
+
+    Example: shipping a :class:`~repro.core.feedback.WorkerStatus` for
+    a worker id the destination status board does not track.
+    """
+
+
 class WorkloadError(ReproError):
     """An invalid workload specification (distribution, load level)."""
 

@@ -49,13 +49,20 @@ from repro.experiments.harness import (
     SystemFactory,
     run_point_with_events,
 )
-from repro.metrics.summary import LatencySummary, RunMetrics, ThroughputSummary
+from repro.metrics.summary import (
+    FaultSummary,
+    LatencySummary,
+    RunMetrics,
+    ThroughputSummary,
+)
 from repro.systems import registry
 from repro.workload.distributions import ServiceTimeDistribution
 
 #: Bump when the cache key payload or the stored schema changes shape;
 #: old entries then simply miss instead of deserializing wrongly.
-CACHE_SCHEMA = 1
+#: Schema 2: fault plans join the key payload and fault summaries the
+#: stored metrics.
+CACHE_SCHEMA = 2
 
 
 # ---------------------------------------------------------------------------
@@ -173,6 +180,8 @@ def spec_cache_key(spec: PointSpec) -> Optional[str]:
             "horizon_ns": float(config.horizon_ns).hex(),
             "warmup_ns": float(config.warmup_ns).hex(),
             "max_events": config.max_events,
+            # Frozen-dataclass repr: deterministic, value-complete.
+            "faults": repr(config.faults),
         },
     }, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -184,7 +193,7 @@ def spec_cache_key(spec: PointSpec) -> Optional[str]:
 
 def metrics_to_jsonable(metrics: RunMetrics) -> Dict[str, Any]:
     """A plain-dict image of *metrics* suitable for ``json.dumps``."""
-    return {
+    data = {
         "latency": (None if metrics.latency is None
                     else dataclasses.asdict(metrics.latency)),
         "throughput": dataclasses.asdict(metrics.throughput),
@@ -192,6 +201,11 @@ def metrics_to_jsonable(metrics: RunMetrics) -> Dict[str, Any]:
         "mean_slowdown": metrics.mean_slowdown,
         "worker_wait_fraction": metrics.worker_wait_fraction,
     }
+    if metrics.faults is not None:
+        # Emitted only for faulted runs, so fault-free entries keep
+        # their historical shape byte for byte.
+        data["faults"] = dataclasses.asdict(metrics.faults)
+    return data
 
 
 def metrics_from_jsonable(data: Dict[str, Any]) -> RunMetrics:
@@ -199,12 +213,15 @@ def metrics_from_jsonable(data: Dict[str, Any]) -> RunMetrics:
     :func:`metrics_to_jsonable`."""
     latency = (None if data["latency"] is None
                else LatencySummary(**data["latency"]))
+    faults = (FaultSummary(**data["faults"])
+              if data.get("faults") is not None else None)
     return RunMetrics(
         latency=latency,
         throughput=ThroughputSummary(**data["throughput"]),
         preemptions=data["preemptions"],
         mean_slowdown=data["mean_slowdown"],
         worker_wait_fraction=data["worker_wait_fraction"],
+        faults=faults,
     )
 
 

@@ -24,6 +24,8 @@ from repro.analysis.sanitizer import (
     sanitize_enabled,
 )
 from repro.errors import ExperimentError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import RunMetrics
 from repro.sim.engine import Simulator
@@ -53,6 +55,8 @@ class RunConfig:
     warmup_ns: float = ms(2.0)
     #: Hard ceiling on kernel events per run (guards runaway points).
     max_events: Optional[int] = 50_000_000
+    #: Fault scenario for this run; None (or a null plan) runs clean.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self):
         if self.horizon_ns <= self.warmup_ns:
@@ -155,6 +159,11 @@ def run_point_with_events(factory: SystemFactory, rate_rps: float,
         sim = Simulator()
     metrics = MetricsCollector(sim, warmup_ns=config.warmup_ns)
     system = factory(sim, rngs, metrics)
+    plan = config.faults
+    if plan is not None and not plan.is_null:
+        injector = FaultInjector(sim, rngs, plan, metrics=metrics,
+                                 tracer=getattr(system, "tracer", None))
+        injector.attach(system)
     ingress = system.ingress
     if isinstance(sim, SanitizedSimulator):
         sim.watch_system(system)

@@ -129,11 +129,21 @@ class StingraySmartNic:
 
     def _forward(self, packet: Packet, src_domain: FabricDomain) -> None:
         packet.hop()
+        # Every fabric traversal is one wire hop for fault purposes —
+        # request dispatch, notifications, and responses alike.
+        extra_ns = 0.0
+        injector = self.sim.fault_injector
+        if injector is not None and injector.link_active:
+            where = f"nic:{self.name}"
+            verdict, extra_ns = injector.link_verdict(where)
+            if verdict not in ("deliver", "reorder"):
+                injector.on_packet_lost(packet, where=where, kind=verdict)
+                return
         fp = self._ports.get(packet.eth.dst)
         if fp is None:
-            self._egress(packet, src_domain)
+            self._egress(packet, src_domain, extra_ns)
             return
-        latency = self._fabric_latency(src_domain, fp.domain)
+        latency = self._fabric_latency(src_domain, fp.domain) + extra_ns
         key = (src_domain, fp.domain)
         self.forwarded[key] = self.forwarded.get(key, 0) + 1
         receive = fp.port.receive
@@ -142,14 +152,16 @@ class StingraySmartNic:
         else:
             receive(packet)
 
-    def _egress(self, packet: Packet, src_domain: FabricDomain) -> None:
+    def _egress(self, packet: Packet, src_domain: FabricDomain,
+                extra_ns: float = 0.0) -> None:
         if self._uplink is None:
             self.undeliverable += 1
             raise DeliveryError(
                 f"{self.name}: unknown destination {packet.eth.dst} "
                 "and no uplink attached")
         self.egressed += 1
-        latency = self._fabric_latency(src_domain, FabricDomain.EXTERNAL)
+        latency = self._fabric_latency(src_domain,
+                                       FabricDomain.EXTERNAL) + extra_ns
         uplink = self._uplink
         if latency > 0:
             self.sim.call_in(latency, lambda: uplink(packet))

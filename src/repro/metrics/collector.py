@@ -9,7 +9,7 @@ open-loop tail-latency experiments.
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import ExperimentError
 from repro.metrics.reservoir import LatencyReservoir
@@ -52,7 +52,13 @@ class MetricsCollector:
         #: arrival-filtered count undercounts as the backlog grows).
         self.completed_in_window = 0
         self.dropped = 0
+        #: Measurement-window drops keyed by reason ("overflow",
+        #: "fault", "timeout").
+        self.dropped_by_reason: Dict[str, int] = {}
         self.preemptions = 0
+        #: The run's :class:`~repro.faults.injector.FaultCounters`, set
+        #: by the injector's ``attach()``; None in fault-free runs.
+        self.fault_counters = None
         self._measure_start: Optional[float] = None
         self._workers: List["WorkerCore"] = []
         self._worker_attach_time = 0.0
@@ -92,10 +98,12 @@ class MetricsCollector:
             self.slowdown.add(request.slowdown)
         self.preemptions += request.preemptions
 
-    def record_drop(self, request: Request) -> None:
-        """Count one dropped request."""
+    def record_drop(self, request: Request, reason: str = "overflow") -> None:
+        """Count one dropped request, keyed by why it was dropped."""
         if self._in_measurement(request):
             self.dropped += 1
+            self.dropped_by_reason[reason] = \
+                self.dropped_by_reason.get(reason, 0) + 1
 
     # -- summarization ------------------------------------------------------
 
@@ -117,12 +125,19 @@ class MetricsCollector:
                    if not self.latency.empty else None)
         mean_slowdown = (self.slowdown.mean()
                          if not self.slowdown.empty else float("nan"))
+        faults = None
+        if self.fault_counters is not None:
+            faults = self.fault_counters.summarize(
+                dropped_by_reason=self.dropped_by_reason,
+                completed_in_window=self.completed_in_window,
+                window_ns=window_ns)
         return RunMetrics(
             latency=latency,
             throughput=throughput,
             preemptions=self.preemptions,
             mean_slowdown=mean_slowdown,
             worker_wait_fraction=self.worker_wait_fraction(),
+            faults=faults,
         )
 
     def worker_wait_fraction(self) -> float:

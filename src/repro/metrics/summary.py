@@ -70,6 +70,45 @@ class ThroughputSummary:
 
 
 @dataclass(frozen=True)
+class FaultSummary:
+    """Fault-injection and recovery accounting for one run.
+
+    Present on :class:`RunMetrics` only when the run carried a
+    non-null :class:`~repro.faults.plan.FaultPlan`; fault-free runs
+    keep ``faults=None`` so their serialized metrics are unchanged.
+    """
+
+    # -- injected faults ---------------------------------------------------
+    link_drops: int
+    link_corruptions: int
+    link_reorders: int
+    feedback_lost: int
+    feedback_stale: int
+    worker_crashes: int
+    worker_stalls: int
+    # -- drops by reason (measurement window) ------------------------------
+    drops_overflow: int
+    drops_fault: int
+    drops_timeout: int
+    # -- recovery actions --------------------------------------------------
+    retries: int
+    retry_successes: int
+    timeouts: int
+    failovers: int
+    failover_successes: int
+    stale_fallbacks: int
+    #: Completions/s in the window that needed no recovery assistance.
+    goodput_rps: float
+
+    def __str__(self) -> str:
+        return (f"faults(drops={self.link_drops}+{self.drops_overflow}ovf"
+                f"+{self.drops_timeout}to retries={self.retries}"
+                f"/{self.retry_successes}ok failovers={self.failovers}"
+                f"/{self.failover_successes}ok "
+                f"goodput={self.goodput_rps / 1e3:.0f}kRPS)")
+
+
+@dataclass(frozen=True)
 class RunMetrics:
     """Everything measured in one simulation run."""
 
@@ -82,6 +121,8 @@ class RunMetrics:
     #: Aggregate worker time spent waiting for work, as a fraction of
     #: worker-seconds available (Figure 6's statistic).
     worker_wait_fraction: float
+    #: Fault/recovery accounting; None for fault-free runs.
+    faults: Optional[FaultSummary] = None
 
     def __str__(self) -> str:
         lat = str(self.latency) if self.latency is not None else "no samples"

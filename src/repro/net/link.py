@@ -88,6 +88,16 @@ class Link:
         arrive_at = done_serializing + self.latency_ns
         self.tx_count += 1
         self.tx_bytes += packet.size_bytes
+        injector = self.sim.fault_injector
+        if injector is not None and injector.link_active:
+            verdict, extra_ns = injector.link_verdict(self.name)
+            if verdict == "reorder":
+                arrive_at += extra_ns
+            elif verdict != "deliver":
+                # Lost or corrupted on the wire: never delivered.
+                injector.on_packet_lost(packet, where=self.name,
+                                        kind=verdict)
+                return arrive_at
         deliver = self.deliver
         if arrive_at > now:
             self.sim.call_at(arrive_at, lambda: deliver(packet))

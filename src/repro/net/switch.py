@@ -120,10 +120,21 @@ class LearningSwitch:
                 self._emit(packet, port)
 
     def _emit(self, packet: Packet, port: SwitchPort) -> None:
-        if self.forwarding_latency_ns > 0:
+        delay = self.forwarding_latency_ns
+        injector = self.sim.fault_injector
+        if injector is not None and injector.link_active:
+            verdict, extra_ns = injector.link_verdict(f"switch:{self.name}")
+            if verdict == "reorder":
+                delay += extra_ns
+            elif verdict != "deliver":
+                # Dropped in the fabric: never reaches the egress port.
+                injector.on_packet_lost(packet,
+                                        where=f"switch:{self.name}",
+                                        kind=verdict)
+                return
+        if delay > 0:
             deliver = port.deliver
-            self.sim.call_in(self.forwarding_latency_ns,
-                             lambda: deliver(packet))
+            self.sim.call_in(delay, lambda: deliver(packet))
         else:
             port.deliver(packet)
 

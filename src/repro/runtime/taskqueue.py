@@ -70,6 +70,13 @@ class TaskQueue:
             return len(self._fifo)
         return len(self._heap)
 
+    def restrict_capacity(self, capacity: int) -> None:
+        """Tighten the capacity bound (fault injection). Never loosens."""
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        if self.capacity is None or capacity < self.capacity:
+            self.capacity = capacity
+
     # -- enqueue ----------------------------------------------------------------
 
     def enqueue(self, request: Request) -> bool:

@@ -34,6 +34,12 @@ class ExecutionOutcome(enum.Enum):
 
     FINISHED = "finished"
     PREEMPTED = "preempted"
+    #: The worker crashed before or during the episode; the request is
+    #: orphaned and needs failover.
+    FAILED = "failed"
+    #: The request was already dropped (timeout/fault) when the worker
+    #: picked it up; nothing ran.
+    SKIPPED = "skipped"
 
 
 class WorkerCore:
@@ -67,6 +73,9 @@ class WorkerCore:
             preemption.deliver = self._on_interrupt
         self._process: Optional["Process"] = None
         self._interruptible = False
+        #: Set by a fault plan's crash schedule; a crashed core fails
+        #: its current episode and refuses all future work.
+        self.crashed = False
         # -- statistics ----------------------------------------------------
         self.completed = 0
         self.preempted = 0
@@ -112,6 +121,21 @@ class WorkerCore:
             # or a completion race.  Real handlers just IRET.
             self.spurious_interrupts += 1
 
+    # -- fault injection -----------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill this core permanently (fault-plan crash schedule).
+
+        An episode in its interruptible service phase is cut short and
+        reported :attr:`ExecutionOutcome.FAILED`; a core between
+        requests simply fails the next episode it is offered.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        if self._interruptible and self._process is not None:
+            self._process.interrupt("crash")
+
     # -- the execution episode ----------------------------------------------------
 
     def run_request(self, request: Request):
@@ -125,12 +149,27 @@ class WorkerCore:
         if self._process is None:
             raise SimulationError(
                 f"worker {self.worker_id}: attach_process() before running")
+        if request.state is RequestState.DROPPED:
+            # Reaped (timeout/fault) while queued; nothing to run.
+            return ExecutionOutcome.SKIPPED
+        if self.crashed:
+            # A dead core orphans whatever it is handed.
+            return ExecutionOutcome.FAILED
         thread = self.thread
         # Who ran this request last — read before claiming it.
         previous_worker = request.worker_id
         request.state = RequestState.RUNNING
         request.worker_id = self.worker_id
         request.stamp("first_run", self.sim.now)
+
+        injector = self.sim.fault_injector
+        if injector is not None:
+            # A stalled core freezes until its stall window closes.
+            stall_ns = injector.stall_penalty_ns(self.worker_id)
+            if stall_ns > 0:
+                yield self.sim.timeout(stall_ns)
+                if self.crashed:
+                    return ExecutionOutcome.FAILED
 
         # Context spawn (first run) or restore.  A restore on the
         # worker that last ran the request hits warm caches (§3.1's
@@ -150,16 +189,25 @@ class WorkerCore:
 
         started = self.sim.now
         self._interruptible = True
+        # A straggler window dilates the service demand; factor 1.0 is
+        # the exact identity (x * 1.0 and x / 1.0 are bit-exact), so a
+        # fault-free run's float arithmetic is untouched.
+        factor = (injector.straggler_factor(self.worker_id)
+                  if injector is not None else 1.0)
         try:
             # The service demand itself; busy time accounted on exit so
             # a preempted episode only charges what actually ran.
-            yield self.sim.timeout(request.remaining_ns)
+            yield self.sim.timeout(request.remaining_ns * factor)
         except ProcessInterrupt:
             ran = self.sim.now - started
             thread.busy_ns += ran
             self.service_ns += ran
             self._interruptible = False
-            request.run_for(ran)
+            request.run_for(ran / factor)
+            if self.crashed:
+                # The interrupt was the crash itself: no receipt, no
+                # context save — the core is gone mid-request.
+                return ExecutionOutcome.FAILED
             # Interrupt-receipt cost is paid regardless of outcome.
             # Without a local driver (NIC-driven preemption) the
             # interrupt still lands as a posted interrupt.
@@ -185,7 +233,7 @@ class WorkerCore:
         thread.busy_ns += ran
         self.service_ns += ran
         self._interruptible = False
-        request.run_for(ran)
+        request.run_for(ran / factor)
         if self.preemption is not None:
             self.preemption.cancel()
         self.completed += 1

@@ -47,6 +47,12 @@ class Simulator:
         self._seq = 0
         self._event_count = 0
         self._running = False
+        #: The run's :class:`~repro.faults.injector.FaultInjector`, set
+        #: by its ``attach()``; None in a fault-free run.  Lives on the
+        #: simulator so dataplane hooks (links, workers, feedback
+        #: channels) can consult it without threading a new parameter
+        #: through every constructor.
+        self.fault_injector = None
 
     # -- clock ---------------------------------------------------------------
 

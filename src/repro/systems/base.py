@@ -61,6 +61,10 @@ class BaseSystem:
         self.tracer = tracer
         self.workers: List[WorkerCore] = []
         self._started = False
+        #: A :class:`~repro.faults.recovery.RecoveryManager`, installed
+        #: by the fault injector's ``attach()``; None when the run has
+        #: no recovery plan.
+        self.recovery = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -82,6 +86,8 @@ class BaseSystem:
         if not self._started:
             raise SimulationError(f"{self.name} not started")
         request.state = RequestState.IN_FLIGHT
+        if self.recovery is not None:
+            self.recovery.note_ingress(request)
         if self.client_wire_ns > 0:
             self.sim.call_in(self.client_wire_ns,
                              lambda: self._server_ingress(request))
@@ -104,17 +110,55 @@ class BaseSystem:
     def _complete(self, request: Request) -> None:
         request.complete(self.sim.now)
         self.metrics.record_completion(request)
+        if self.recovery is not None:
+            self.recovery.note_complete(request)
         if self.tracer is not None:
             self.tracer.emit(self.name, "complete",
                              request=request.request_id,
                              latency_ns=request.latency_ns)
 
-    def drop(self, request: Request) -> None:
-        """Record a dropped request."""
+    def drop(self, request: Request, reason: str = "overflow") -> None:
+        """Record a dropped request, tagged with why it was dropped.
+
+        ``reason`` is one of ``overflow`` (bounded queue full),
+        ``fault`` (lost to injected failure, retries exhausted) or
+        ``timeout`` (reaped by the recovery deadline).  Idempotent per
+        request — the stamp, not the state, guards re-entry, because
+        bounded queues flip the state to DROPPED before the owning
+        system gets to call this.
+        """
+        if (request.state is RequestState.COMPLETED
+                or "dropped" in request.stamps):
+            return
         request.state = RequestState.DROPPED
-        self.metrics.record_drop(request)
+        request.stamp("dropped", self.sim.now)
+        self.metrics.record_drop(request, reason)
         if self.tracer is not None:
-            self.tracer.emit(self.name, "drop", request=request.request_id)
+            self.tracer.emit(self.name, "drop",
+                             request=request.request_id, reason=reason)
+
+    # -- fault/recovery hooks ----------------------------------------------------
+
+    def worker_failed(self, worker: WorkerCore, request: Request) -> None:
+        """A crashed worker orphaned *request*: fail over or drop it."""
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "worker_failed",
+                             worker=worker.worker_id,
+                             request=request.request_id)
+        if self.recovery is not None:
+            self.recovery.failover(request, worker.worker_id)
+        else:
+            self.drop(request, reason="fault")
+
+    def on_worker_crash(self, worker: WorkerCore) -> None:
+        """A worker core just died: stop steering new work to it."""
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "worker_crash",
+                             worker=worker.worker_id)
+        tracker = getattr(self, "tracker", None)
+        if (tracker is not None and hasattr(tracker, "mark_down")
+                and worker.worker_id < tracker.n_workers):
+            tracker.mark_down(worker.worker_id)
 
     # -- diagnostics -------------------------------------------------------------------
 

@@ -125,15 +125,40 @@ def run_to_completion(system: "BaseSystem", worker: WorkerCore,
 
     Per-request packet processing (no dispatcher), execution, and the
     client response — charged to the worker's own core, exactly as the
-    RSS/MICA/ZygOS designs do.
+    RSS/MICA/ZygOS designs do.  Returns the
+    :class:`~repro.runtime.worker.ExecutionOutcome`: a FAILED episode
+    (worker crashed) hands the orphan to the system's failover hook
+    instead of responding; a SKIPPED one (request already reaped)
+    responds to nobody.
     """
     thread = worker.thread
     costs = system.costs
     yield thread.execute(costs.networker_pkt_ns)
     yield thread.execute(costs.worker_rx_ns)
-    yield from worker.run_request(request)
-    yield thread.execute(costs.worker_response_tx_ns)
-    system.respond(request)
+    outcome = yield from worker.run_request(request)
+    if outcome is ExecutionOutcome.FINISHED:
+        yield thread.execute(costs.worker_response_tx_ns)
+        system.respond(request)
+    elif outcome is ExecutionOutcome.FAILED:
+        system.worker_failed(worker, request)
+    return outcome
+
+
+def drain_crashed_worker(system: "BaseSystem", worker: WorkerCore,
+                         queue) -> None:
+    """Hand every request stranded in a dead worker's queue to failover.
+
+    Accepts either a :class:`~repro.sim.primitives.Store` or a
+    :class:`~repro.runtime.taskqueue.TaskQueue`.
+    """
+    take = getattr(queue, "try_get", None)
+    if take is None:
+        take = queue.try_dequeue
+    while True:
+        ok, request = take()
+        if not ok:
+            return
+        system.worker_failed(worker, request)
 
 
 def fifo_worker_loop(system: "BaseSystem", worker: WorkerCore, queue: Store):
@@ -143,6 +168,9 @@ def fifo_worker_loop(system: "BaseSystem", worker: WorkerCore, queue: Store):
         request = yield queue.get()
         worker.end_wait()
         yield from run_to_completion(system, worker, request)
+        if worker.crashed:
+            drain_crashed_worker(system, worker, queue)
+            return
 
 
 class HostShinjukuPipeline:
@@ -163,10 +191,12 @@ class HostShinjukuPipeline:
                  mailbox_depth: int = 1,
                  rx_ring_depth: int = RX_RING_DEPTH,
                  tracer: Optional["Tracer"] = None,
-                 tracer_scope: Optional[str] = None):
+                 tracer_scope: Optional[str] = None,
+                 on_drop: Optional[Callable[[Request], None]] = None):
         self.sim = sim
         self.costs = costs
         self.respond = respond
+        self.on_drop = on_drop
         self.name = name
         self.policy = policy if policy is not None else CentralizedFifoPolicy()
         self.tracer = tracer
@@ -264,16 +294,22 @@ class HostShinjukuPipeline:
                 ok, request = self.ingest.try_get()
                 if ok:
                     yield thread.execute(op)
-                    self.task_queue.enqueue(request)
+                    self._enqueue(request)
                     progressed = True
             if not progressed:
                 yield self.work_signal.wait()
+
+    def _enqueue(self, request: Request) -> None:
+        accepted = self.task_queue.enqueue(request)
+        if not accepted and self.on_drop is not None:
+            self.on_drop(request)
 
     def _handle_notification(self, message: NotifyMessage) -> None:
         self.tracker.debit(message.worker_id)
         if message.outcome == "preempted":
             # Tail of the centralized queue (§3.4.1 semantics).
-            self.task_queue.enqueue(message.request)
+            self._enqueue(message.request)
+        # "finished" and "cancelled" only release the credit.
 
     def _dispatch(self, request: Request, worker_id: int) -> None:
         self.tracker.credit(worker_id)
@@ -297,11 +333,25 @@ class HostShinjukuPipeline:
             worker.end_wait()
             yield thread.execute(self.costs.worker_rx_ns)
             outcome = yield from worker.run_request(request)
+            if worker.crashed:
+                # Dead core: orphan the episode (no notify — the credit
+                # stays consumed, which is fine since the tracker also
+                # marks the worker down) and stop the loop.
+                self.tracker.mark_down(local_id)
+                if outcome is ExecutionOutcome.FAILED:
+                    injector = self.sim.fault_injector
+                    if injector is not None:
+                        injector.handle_worker_failure(worker, request)
+                return
             if outcome is ExecutionOutcome.FINISHED:
                 yield thread.execute(self.costs.worker_response_tx_ns)
                 self.respond(request)
                 yield thread.execute(self.costs.worker_notify_ns)
                 self._notify(local_id, "finished", request)
+            elif outcome is ExecutionOutcome.SKIPPED:
+                # Already reaped while queued: just release the credit.
+                yield thread.execute(self.costs.worker_notify_ns)
+                self._notify(local_id, "cancelled", request)
             else:
                 yield thread.execute(self.costs.worker_notify_ns)
                 self._notify(local_id, "preempted", request)

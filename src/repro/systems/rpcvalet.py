@@ -22,7 +22,7 @@ from repro.errors import ConfigError
 from repro.metrics.collector import MetricsCollector
 from repro.runtime.request import Request
 from repro.runtime.taskqueue import TaskQueue
-from repro.runtime.worker import WorkerCore
+from repro.runtime.worker import ExecutionOutcome, WorkerCore
 from repro.sim.rng import RngRegistry
 from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
 from repro.systems.parts import build_host_machine, spawn_worker_pool
@@ -103,6 +103,12 @@ class RpcValetSystem(BaseSystem):
             worker.end_wait()
             yield self.sim.timeout(hw_delay)
             yield thread.execute(self.costs.worker_rx_ns)
-            yield from worker.run_request(request)
-            yield thread.execute(self.costs.worker_response_tx_ns)
-            self.respond(request)
+            outcome = yield from worker.run_request(request)
+            if outcome is ExecutionOutcome.FINISHED:
+                yield thread.execute(self.costs.worker_response_tx_ns)
+                self.respond(request)
+            elif outcome is ExecutionOutcome.FAILED:
+                self.worker_failed(worker, request)
+            if worker.crashed:
+                # The shared queue survives; other workers keep pulling.
+                return

@@ -26,6 +26,7 @@ from repro.sim.rng import RngRegistry
 from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
 from repro.systems.parts import (
     build_host_machine,
+    drain_crashed_worker,
     run_to_completion,
     service_flow,
     spawn_worker_pool,
@@ -133,5 +134,13 @@ class RssSystem(BaseSystem):
             if len(batch) > 1:
                 self.batched_rounds += 1
             yield worker.thread.execute(self.config.poll_round_ns)
-            for item in batch:
+            for index, item in enumerate(batch):
                 yield from run_to_completion(self, worker, item)
+                if worker.crashed:
+                    # Orphan the rest of the batch and the queue: RSS
+                    # keeps hashing this flow set here, so everything
+                    # stranded goes to failover.
+                    for orphan in batch[index + 1:]:
+                        self.worker_failed(worker, orphan)
+                    drain_crashed_worker(self, worker, queue)
+                    return

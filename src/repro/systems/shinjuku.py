@@ -66,7 +66,8 @@ class ShinjukuSystem(BaseSystem):
             sim, self.machine, self.costs, respond=self.respond,
             name=self.name, policy=policy,
             mailbox_depth=config.worker_mailbox_depth,
-            tracer=tracer, tracer_scope=self.name)
+            tracer=tracer, tracer_scope=self.name,
+            on_drop=self.drop)
         self.workers = spawn_worker_pool(
             sim, self.machine, config.workers, self.costs,
             preemption=config.preemption)

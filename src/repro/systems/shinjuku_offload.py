@@ -219,11 +219,22 @@ class ShinjukuOffloadSystem(BaseSystem):
                 yield thread.execute(
                     self.ddio.read_cost_ns(request.size_bytes, level))
             outcome = yield from worker.run_request(request)
+            if worker.crashed:
+                # Dead core: no response, no notify — the orphan goes
+                # to failover and the dispatcher stops steering here.
+                self.tracker.mark_down(worker.worker_id)
+                if outcome is ExecutionOutcome.FAILED:
+                    self.worker_failed(worker, request)
+                return
             if outcome is ExecutionOutcome.FINISHED:
                 yield thread.execute(costs.response_tx_ns)
                 self._send_response(port, request)
                 yield thread.execute(costs.notify_tx_ns)
                 self._send_notify(port, worker.worker_id, "finished", request)
+            elif outcome is ExecutionOutcome.SKIPPED:
+                # Reaped while queued: release the credit, nothing ran.
+                yield thread.execute(costs.notify_tx_ns)
+                self._send_notify(port, worker.worker_id, "cancelled", request)
             else:
                 # Preempted: the request travels back to the dispatcher
                 # inside the notification (§3.4.5).

@@ -26,6 +26,7 @@ from repro.sim.rng import RngRegistry
 from repro.systems.base import BaseSystem, DEFAULT_CLIENT_WIRE_NS
 from repro.systems.parts import (
     build_host_machine,
+    drain_crashed_worker,
     run_to_completion,
     service_flow,
     spawn_worker_pool,
@@ -120,6 +121,12 @@ class WorkStealingSystem(BaseSystem):
                 worker.end_wait()
                 continue
             yield from run_to_completion(self, worker, request)
+            if worker.crashed:
+                # Peers can still steal from this queue, but new RSS
+                # arrivals keep hashing here with nobody home — hand
+                # the stranded backlog to failover.
+                drain_crashed_worker(self, worker, my_queue)
+                return
 
     def _steal_scan(self, worker: WorkerCore):
         """Probe remote queues round-robin; returns a request or None."""

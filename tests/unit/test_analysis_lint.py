@@ -400,10 +400,16 @@ class TestLintCli:
             "float-time-eq": "same = a_ns == b_ns\n",
             "mutable-default": "def f(acc=[]):\n    return acc\n",
             "hash-seed": "key = hash('name')\n",
+            # Only fires on modules under a faults/ path segment.
+            "fault-stream": "u = rngs.stream('service').random()\n",
         }
         assert set(fixtures) == {rule.rule_id for rule in ALL_RULES}
         for rule_id, source in fixtures.items():
-            target = tmp_path / f"{rule_id}.py"
+            if rule_id == "fault-stream":
+                target = tmp_path / "faults" / "injector.py"
+                target.parent.mkdir(exist_ok=True)
+            else:
+                target = tmp_path / f"{rule_id}.py"
             target.write_text(source)
             assert main(["lint", str(target)]) == 1, rule_id
             assert rule_id in capsys.readouterr().out
