@@ -251,7 +251,7 @@ class WallClockRule(Rule):
 _SCHEDULING_CALLS = frozenset({
     "_schedule", "schedule", "enqueue", "dequeue", "try_dequeue",
     "succeed", "fail", "timeout", "process", "call_at", "call_in",
-    "heappush", "push", "interrupt", "send",
+    "defer", "defer_at", "heappush", "push", "interrupt", "send",
 })
 
 

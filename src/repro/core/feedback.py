@@ -160,7 +160,7 @@ class FeedbackChannel:
         if latency <= 0:
             self._apply(status)
         else:
-            self.sim.call_in(latency, lambda: self._apply(status))
+            self.sim.defer(latency, self._apply, status)
 
     def _apply(self, status: WorkerStatus) -> None:
         self.board.apply(status)

@@ -35,7 +35,14 @@ from repro.core.policy import CentralizedFifoPolicy, SchedulingPolicy
 from repro.core.queuing import OutstandingTracker
 from repro.hw.cpu import HardwareThread
 from repro.net.addressing import MacAddress
-from repro.net.packet import NotifyPayload, Packet, RequestPayload, make_udp_packet
+from repro.net.packet import (
+    EthernetHeader,
+    Ipv4Header,
+    NotifyPayload,
+    Packet,
+    RequestPayload,
+    UdpHeader,
+)
 from repro.net.port import NetworkPort
 from repro.runtime.request import Request
 from repro.runtime.taskqueue import TaskQueue
@@ -112,6 +119,8 @@ class NicDispatcherPipeline:
         #: Dequeued (request, worker) pairs awaiting packetization.
         self._to_tx: Store = Store(sim, name="nic-to-tx")
         self._work_signal = Signal(sim, name="nic-dispatch-work")
+        #: Per-worker cached (eth, ip, udp) header triples for work packets.
+        self._work_headers: Dict[int, tuple] = {}
         # -- statistics --------------------------------------------------------
         self.dispatched = 0
         self.completions = 0
@@ -145,20 +154,38 @@ class NicDispatcherPipeline:
         shared-memory handoff; the reverse order lets an arrival flood
         starve dispatching under overload and collapse goodput.
         """
-        costs = self.costs
+        op = self.costs.queue_op_ns
+        thread = self.qm_thread
+        sim = self.sim
+        timeout = sim.timeout
+        task_queue = self.task_queue
+        # The underlying containers never get reassigned, so their
+        # truthiness is a call-free emptiness test.
+        tq_fifo = task_queue._fifo
+        tq_heap = task_queue._heap
+        tracker = self.tracker
+        # The default policy ignores the queue head and just asks the
+        # tracker; skip the delegation (and the peek) on the hot path.
+        if type(self.policy) is CentralizedFifoPolicy:
+            select = tracker.select
+        else:
+            select_worker = self.policy.select_worker
+            peek = task_queue.peek
+            select = lambda: select_worker(tracker, peek())
+        ingest_get = self._ingest.try_get
+        wait = self._work_signal.wait
         while True:
-            progressed = False
             worker_id: Optional[int] = None
-            if len(self.task_queue) > 0:
-                worker_id = self.policy.select_worker(
-                    self.tracker, self.task_queue.peek())
+            if tq_fifo or tq_heap:
+                worker_id = select()
             if worker_id is not None:
-                ok, request = self.task_queue.try_dequeue()
+                ok, request = task_queue.try_dequeue()
                 assert ok and request is not None
                 # Dequeue + assign op.
-                yield self.qm_thread.execute(costs.queue_op_ns)
-                self.tracker.credit(worker_id)
-                request.stamp("dispatched", self.sim.now)
+                thread.busy_ns += op
+                yield timeout(op)
+                tracker.credit(worker_id)
+                request.stamp("dispatched", sim.now)
                 self.dispatched += 1
                 if self.on_dispatch is not None:
                     self.on_dispatch(worker_id)
@@ -168,28 +195,26 @@ class NicDispatcherPipeline:
                                      worker=worker_id)
                 # Shared-memory hop to the packet-TX core.
                 self._hand_to_tx(request, worker_id)
-                progressed = True
-            else:
-                ok, request = self._ingest.try_get()
-                if ok:
-                    # Enqueue op: new or preempted request to the tail.
-                    yield self.qm_thread.execute(costs.queue_op_ns)
-                    accepted = self.task_queue.enqueue(request)
-                    if not accepted and self.on_drop is not None:
-                        self.on_drop(request)
-                    if self.tracer is not None:
-                        self.tracer.emit("nic-qm", "enqueue",
-                                         request=request.request_id,
-                                         accepted=accepted)
-                    progressed = True
-            if not progressed:
-                yield self._work_signal.wait()
+                continue
+            ok, request = ingest_get()
+            if ok:
+                # Enqueue op: new or preempted request to the tail.
+                thread.busy_ns += op
+                yield timeout(op)
+                accepted = task_queue.enqueue(request)
+                if not accepted and self.on_drop is not None:
+                    self.on_drop(request)
+                if self.tracer is not None:
+                    self.tracer.emit("nic-qm", "enqueue",
+                                     request=request.request_id,
+                                     accepted=accepted)
+                continue
+            yield wait()
 
     def _hand_to_tx(self, request: Request, worker_id: int) -> None:
         hop = self.costs.intercore_hop_ns
         if hop > 0:
-            self.sim.call_in(
-                hop, lambda: self._to_tx.try_put((request, worker_id)))
+            self.sim.defer(hop, self._to_tx.try_put, (request, worker_id))
         else:
             self._to_tx.try_put((request, worker_id))
 
@@ -208,17 +233,24 @@ class NicDispatcherPipeline:
         costs = self.costs
         batch_size = max(1, costs.tx_batch_size)
         flush_timeout = costs.tx_flush_timeout_ns
+        sim = self.sim
+        timeout = sim.timeout
+        thread = self.tx_thread
+        tx_ns = costs.packet_tx_ns
+        to_tx_get = self._to_tx.get
+        build = self._build_work_packet
+        transmit = self.tx_port.transmit
         while True:
-            batch = [(yield self._to_tx.get())]
+            batch = [(yield to_tx_get())]
             if batch_size > 1 and flush_timeout > 0:
-                deadline = self.sim.now + flush_timeout
+                deadline = sim.now + flush_timeout
                 while len(batch) < batch_size:
-                    remaining = deadline - self.sim.now
+                    remaining = deadline - sim.now
                     if remaining <= 0:
                         break
-                    get_ev = self._to_tx.get()
-                    timeout_ev = self.sim.timeout(remaining)
-                    yield self.sim.any_of([get_ev, timeout_ev])
+                    get_ev = to_tx_get()
+                    timeout_ev = timeout(remaining)
+                    yield sim.any_of([get_ev, timeout_ev])
                     if get_ev.triggered:
                         batch.append(get_ev.value)
                     else:
@@ -226,38 +258,52 @@ class NicDispatcherPipeline:
                         break
             for request, worker_id in batch:
                 # Construct + send the UDP packet to the worker's VF.
-                yield self.tx_thread.execute(costs.packet_tx_ns)
-                packet = self._build_work_packet(request, worker_id)
-                self.tx_port.transmit(packet)
+                thread.busy_ns += tx_ns
+                yield timeout(tx_ns)
+                transmit(build(request, worker_id))
                 if self.tracer is not None:
                     self.tracer.emit("nic-tx", "send",
                                      request=request.request_id,
                                      worker=worker_id)
 
     def _build_work_packet(self, request: Request, worker_id: int) -> Packet:
-        dst_mac = self.worker_macs[worker_id]
-        src_ip = self.tx_port.ip
-        assert src_ip is not None, "dispatcher tx_port needs an IP"
-        return make_udp_packet(
-            src_mac=self.tx_port.mac, dst_mac=dst_mac,
-            src_ip=src_ip, dst_ip=src_ip,  # on-NIC addressing is by MAC
-            src_port=self.DST_PORT_WORK, dst_port=self.DST_PORT_WORK,
-            payload=RequestPayload(request=request),
-            payload_bytes=request.size_bytes)
+        # Headers are invariant per worker; frozen dataclasses are safe
+        # to share across packets and expensive to rebuild per send.
+        headers = self._work_headers.get(worker_id)
+        if headers is None:
+            dst_mac = self.worker_macs[worker_id]
+            src_ip = self.tx_port.ip
+            assert src_ip is not None, "dispatcher tx_port needs an IP"
+            headers = (
+                EthernetHeader(src=self.tx_port.mac, dst=dst_mac),
+                Ipv4Header(src=src_ip, dst=src_ip),  # on-NIC addressing is by MAC
+                UdpHeader(src_port=self.DST_PORT_WORK,
+                          dst_port=self.DST_PORT_WORK))
+            self._work_headers[worker_id] = headers
+        eth, ip, udp = headers
+        return Packet(eth=eth, ip=ip, udp=udp,
+                      payload=RequestPayload(request=request),
+                      payload_bytes=request.size_bytes)
 
     # -- the packet-RX core ------------------------------------------------------------
 
     def _rx_loop(self):
-        costs = self.costs
+        rx_ns = self.costs.packet_rx_ns
+        thread = self.rx_thread
+        timeout = self.sim.timeout
+        poll = self.rx_port.poll
+        debit = self.tracker.debit
+        fire = self._work_signal.fire
         while True:
-            packet = yield self.rx_port.poll()
+            packet = yield poll()
             # Poll + parse the notification.
-            yield self.rx_thread.execute(costs.packet_rx_ns)
+            thread.busy_ns += rx_ns
+            yield timeout(rx_ns)
             payload = packet.payload
             if not isinstance(payload, NotifyPayload):
                 raise SchedulingError(
                     f"dispatcher rx port got a non-notify packet: {packet!r}")
-            self.tracker.debit(payload.worker_id)
+            debit(payload.worker_id)
             if self.on_notify is not None:
                 self.on_notify(payload.worker_id)
             if payload.outcome == "preempted":
@@ -275,7 +321,7 @@ class NicDispatcherPipeline:
                                  request=payload.request.request_id,
                                  worker=payload.worker_id,
                                  outcome=payload.outcome)
-            self._work_signal.fire()
+            fire()
 
     # -- diagnostics -------------------------------------------------------------------
 

@@ -149,8 +149,8 @@ class NicPreemptionScanner:
         if self.delivery_latency_ns <= 0:
             worker._on_interrupt(cause="nic-preempt")
         else:
-            self.sim.call_in(self.delivery_latency_ns,
-                             lambda: worker._on_interrupt(cause="nic-preempt"))
+            self.sim.defer(self.delivery_latency_ns,
+                           lambda: worker._on_interrupt(cause="nic-preempt"))
 
     def __repr__(self) -> str:
         return (f"<NicPreemptionScanner slice={self.time_slice_ns}ns "

@@ -95,7 +95,7 @@ class BacklogAdvertiser:
                 self.updated.fire()
 
             if self.wire_latency_ns > 0:
-                self.sim.call_in(self.wire_latency_ns, _land)
+                self.sim.defer(self.wire_latency_ns, _land)
             else:
                 _land()
 

@@ -79,6 +79,11 @@ class PreemptionDriver:
         self.fired = 0
         #: Expiries cancelled before firing (request finished in time).
         self.cancelled = 0
+        # Costs depend only on the mechanism and clock, both fixed at
+        # construction; re-deriving them per arm is hot-path waste.
+        self._arm_cost_ns = self.arm_cost_ns
+        self._slice_ns = (config.time_slice_ns
+                          if config.time_slice_ns is not None else None)
 
     # -- mechanism-derived costs ------------------------------------------------
 
@@ -134,17 +139,19 @@ class PreemptionDriver:
         """
         self._generation += 1
         self._armed = True
-        generation = self._generation
+        assert self._slice_ns is not None
+        self.sim.defer(self._slice_ns, self._expire, self._generation, cause)
+        cost = self._arm_cost_ns
+        thread = self.thread
+        thread.busy_ns += cost
+        return self.sim.timeout(cost)
 
-        def _expire() -> None:
-            if generation != self._generation:
-                return  # cancelled or re-armed before expiry
-            self._armed = False
-            self.fired += 1
-            self._send(cause)
-
-        self.sim.call_in(self.slice_ns, _expire)
-        return self.thread.execute(self.arm_cost_ns)
+    def _expire(self, generation: int, cause: Any) -> None:
+        if generation != self._generation:
+            return  # cancelled or re-armed before expiry
+        self._armed = False
+        self.fired += 1
+        self._send(cause)
 
     def cancel(self) -> None:
         """Disarm a pending expiry (no effect on in-flight packets)."""
@@ -167,8 +174,7 @@ class PreemptionDriver:
         if latency <= 0:
             self.deliver(cause)
         else:
-            deliver = self.deliver
-            self.sim.call_in(latency, lambda: deliver(cause))
+            self.sim.defer(latency, self.deliver, cause)
 
     def __repr__(self) -> str:
         return (f"<PreemptionDriver {self.config.mechanism} "

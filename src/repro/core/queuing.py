@@ -40,6 +40,9 @@ class OutstandingTracker:
         self.n_workers = n_workers
         self.target = target
         self._outstanding: Dict[int, int] = {w: 0 for w in range(n_workers)}
+        #: Running sum of outstanding requests (kept in lockstep with
+        #: credit/debit so ``total`` never re-sums the dict on hot paths).
+        self._total = 0
         #: Round-robin pointer for tie-breaking among equal loads.
         self._rr_next = 0
         #: Peak total outstanding (diagnostics).
@@ -54,7 +57,7 @@ class OutstandingTracker:
     @property
     def total(self) -> int:
         """Requests outstanding across all workers."""
-        return sum(self._outstanding.values())
+        return self._total
 
     def has_capacity(self, worker_id: int) -> bool:
         """True if *worker_id* is below its outstanding target."""
@@ -82,19 +85,29 @@ class OutstandingTracker:
         topped up evenly — with round-robin among ties so no worker is
         systematically favoured.
         """
+        outstanding = self._outstanding
+        target = self.target
+        n = self.n_workers
+        down = self._down
         best: Optional[int] = None
         best_load: Optional[int] = None
-        for offset in range(self.n_workers):
-            wid = (self._rr_next + offset) % self.n_workers
-            if wid in self._down:
+        wid = self._rr_next
+        for _ in range(n):
+            if wid >= n:
+                wid -= n
+            if down and wid in down:
+                wid += 1
                 continue
-            load = self._outstanding[wid]
-            if load >= self.target:
-                continue
-            if best_load is None or load < best_load:
+            load = outstanding[wid]
+            if load < target and (best_load is None or load < best_load):
                 best, best_load = wid, load
+                if load == 0:
+                    # A later zero-load worker cannot displace an earlier
+                    # one (ties keep the first in round-robin order).
+                    break
+            wid += 1
         if best is not None:
-            self._rr_next = (best + 1) % self.n_workers
+            self._rr_next = (best + 1) % n
         return best
 
     def credit(self, worker_id: int) -> None:
@@ -103,9 +116,9 @@ class OutstandingTracker:
             raise SchedulingError(
                 f"worker {worker_id} already at target {self.target}")
         self._outstanding[worker_id] += 1
-        total = self.total
-        if total > self.max_total:
-            self.max_total = total
+        self._total += 1
+        if self._total > self.max_total:
+            self.max_total = self._total
 
     def debit(self, worker_id: int) -> None:
         """Record a completion/preemption notification from *worker_id*."""
@@ -113,6 +126,7 @@ class OutstandingTracker:
             raise SchedulingError(
                 f"worker {worker_id} has no outstanding requests to debit")
         self._outstanding[worker_id] -= 1
+        self._total -= 1
 
     def __repr__(self) -> str:
         return (f"<OutstandingTracker target={self.target} "

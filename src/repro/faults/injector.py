@@ -157,8 +157,8 @@ class FaultInjector:
         if self.plan.queues.capacity is not None:
             self._restrict_queues(system, self.plan.queues.capacity)
         for worker_id, at_ns in self.plan.workers.crashes:
-            self.sim.call_at(max(at_ns, self.sim.now),
-                             lambda w=worker_id: self._crash(w))
+            self.sim.defer_at(max(at_ns, self.sim.now),
+                              self._crash, worker_id)
         if self.plan.recovery.active:
             self.recovery = RecoveryManager(
                 self.sim, system, self.plan.recovery, self.counters,

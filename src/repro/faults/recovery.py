@@ -64,8 +64,7 @@ class RecoveryManager:
     def note_ingress(self, request: Request) -> None:
         """Arm the per-request deadline (initial entry and re-injections)."""
         if self.plan.timeout_ns > 0:
-            self.sim.call_in(self.plan.timeout_ns,
-                             lambda: self._expire(request))
+            self.sim.defer(self.plan.timeout_ns, self._expire, request)
 
     def note_complete(self, request: Request) -> None:
         """Credit recovery paths that carried *request* to completion."""
@@ -87,8 +86,7 @@ class RecoveryManager:
             # Actively executing: the deadline bounds scheduling delay,
             # not service demand.  Re-arm so a later preemption into a
             # black hole is still reaped.
-            self.sim.call_in(self.plan.timeout_ns,
-                             lambda: self._expire(request))
+            self.sim.defer(self.plan.timeout_ns, self._expire, request)
             return
         self.counters.timeouts += 1
         if self.tracer is not None:
@@ -119,7 +117,7 @@ class RecoveryManager:
             self.tracer.emit("faults", "retry", request=request.request_id,
                              attempt=attempts + 1, where=where,
                              backoff_ns=delay)
-        self.sim.call_in(delay, lambda: self._reinject(request))
+        self.sim.defer(delay, self._reinject, request)
 
     # -- failover (crashed workers) ------------------------------------------
 
@@ -142,8 +140,7 @@ class RecoveryManager:
         if self.tracer is not None:
             self.tracer.emit("faults", "failover",
                              request=request.request_id, worker=worker_id)
-        self.sim.call_in(self.plan.retry_backoff_ns,
-                         lambda: self._reinject(request))
+        self.sim.defer(self.plan.retry_backoff_ns, self._reinject, request)
 
     def _reinject(self, request: Request) -> None:
         if request.state in _TERMINAL:

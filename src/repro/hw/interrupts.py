@@ -65,7 +65,7 @@ class InterruptDelivery:
             self.delivered += 1
             process.interrupt(cause)
 
-        self.sim.call_in(self.delivery_latency_ns, _arrive)
+        self.sim.defer(self.delivery_latency_ns, _arrive)
 
 
 class PostedInterrupt(InterruptDelivery):

@@ -61,14 +61,14 @@ class PcieLink:
         """Posted write: completes after half the RTT plus transfer."""
         self.transactions += 1
         delay = self.rtt_ns / 2 + self.transfer_ns(size_bytes)
-        self.sim.call_in(delay, on_done)
+        self.sim.defer(delay, on_done)
 
     def dma_read(self, size_bytes: int,
                  on_done: Callable[[], None]) -> None:
         """Non-posted read: full RTT plus transfer."""
         self.transactions += 1
         delay = self.rtt_ns + self.transfer_ns(size_bytes)
-        self.sim.call_in(delay, on_done)
+        self.sim.defer(delay, on_done)
 
     def __repr__(self) -> str:
         return f"<PcieLink {self.name!r} x{self.lanes} rtt={self.rtt_ns}ns>"
@@ -93,7 +93,7 @@ class CxlLink(PcieLink):
     def coherent_write(self, on_visible: Callable[[], None]) -> None:
         """A cacheline store that becomes visible one-way later."""
         self.transactions += 1
-        self.sim.call_in(self.one_way_ns, on_visible)
+        self.sim.defer(self.one_way_ns, on_visible)
 
     def __repr__(self) -> str:
         return f"<CxlLink {self.name!r} one_way={self.one_way_ns}ns>"

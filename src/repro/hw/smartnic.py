@@ -43,14 +43,20 @@ class FabricDomain(enum.Enum):
     HOST = "host"           # SR-IOV VFs presented to host CPU cores
 
 
+#: Fixed domain ordering backing the flattened latency/counter tables.
+_DOMAINS = (FabricDomain.EXTERNAL, FabricDomain.ARM, FabricDomain.HOST)
+_DOMAIN_INDEX = {domain: i for i, domain in enumerate(_DOMAINS)}
+
+
 class _FabricPort:
     """Internal record: a registered port plus its domain."""
 
-    __slots__ = ("port", "domain")
+    __slots__ = ("port", "domain", "index")
 
     def __init__(self, port: NetworkPort, domain: FabricDomain):
         self.port = port
         self.domain = domain
+        self.index = _DOMAIN_INDEX[domain]
 
 
 class StingraySmartNic:
@@ -74,14 +80,31 @@ class StingraySmartNic:
         self.config = config
         self.name = name
         self.macs = macs if macs is not None else mac_allocator()
-        self._ports: Dict[MacAddress, _FabricPort] = {}
+        # Keyed by the MAC's integer value: MacAddress hashes through a
+        # Python-level __hash__, which is measurable at per-packet rate.
+        self._ports: Dict[int, _FabricPort] = {}
         self._uplink: Optional[Callable[[Packet], None]] = None
-        #: Packets forwarded internally, by (src_domain, dst_domain).
-        self.forwarded: Dict[Tuple[FabricDomain, FabricDomain], int] = {}
+        # Flattened (src_index * 3 + dst_index) tables: per-pair forward
+        # counters and the precomputed fabric latencies.
+        self._forward_counts = [0] * 9
+        self._latency = tuple(self._fabric_latency(src, dst)
+                              for src in _DOMAINS for dst in _DOMAINS)
         #: Packets sent out the uplink.
         self.egressed = 0
         #: Packets dropped for having an unknown destination and no uplink.
         self.undeliverable = 0
+
+    @property
+    def forwarded(self) -> Dict[Tuple[FabricDomain, FabricDomain], int]:
+        """Packets forwarded internally, by (src_domain, dst_domain)."""
+        counts = self._forward_counts
+        out: Dict[Tuple[FabricDomain, FabricDomain], int] = {}
+        for si, src in enumerate(_DOMAINS):
+            for di, dst in enumerate(_DOMAINS):
+                n = counts[si * 3 + di]
+                if n:
+                    out[(src, dst)] = n
+        return out
 
     # -- interface management ---------------------------------------------------
 
@@ -101,9 +124,9 @@ class StingraySmartNic:
         return port
 
     def _register(self, port: NetworkPort, domain: FabricDomain) -> None:
-        if port.mac in self._ports:
+        if port.mac.value in self._ports:
             raise HardwareError(f"duplicate MAC {port.mac} on {self.name}")
-        self._ports[port.mac] = _FabricPort(port, domain)
+        self._ports[port.mac.value] = _FabricPort(port, domain)
         # The port transmits straight into the fabric; fabric latency is
         # applied per destination, so the TX hop itself is free.
         port.attach_tx(_FabricTx(self, domain))
@@ -118,17 +141,21 @@ class StingraySmartNic:
 
     def lookup(self, mac: MacAddress) -> Optional[NetworkPort]:
         """The NIC-attached port owning *mac*, or None."""
-        fp = self._ports.get(mac)
+        fp = self._ports.get(mac.value)
         return fp.port if fp is not None else None
 
     # -- data path ----------------------------------------------------------------
 
     def external_ingress(self, packet: Packet) -> None:
         """Entry point for packets arriving on the physical wire."""
-        self._forward(packet, FabricDomain.EXTERNAL)
+        self._forward(packet, 0)
 
-    def _forward(self, packet: Packet, src_domain: FabricDomain) -> None:
-        packet.hop()
+    def _forward(self, packet: Packet, src_index: int) -> None:
+        # packet.hop() inlined: one call per fabric traversal adds up.
+        packet.hops = hops = packet.hops + 1
+        if hops > Packet.MAX_HOPS:
+            packet.hops = hops - 1
+            packet.hop()  # raises with the canonical loop diagnostic
         # Every fabric traversal is one wire hop for fault purposes —
         # request dispatch, notifications, and responses alike.
         extra_ns = 0.0
@@ -139,20 +166,20 @@ class StingraySmartNic:
             if verdict not in ("deliver", "reorder"):
                 injector.on_packet_lost(packet, where=where, kind=verdict)
                 return
-        fp = self._ports.get(packet.eth.dst)
+        fp = self._ports.get(packet.eth.dst.value)
         if fp is None:
-            self._egress(packet, src_domain, extra_ns)
+            self._egress(packet, src_index, extra_ns)
             return
-        latency = self._fabric_latency(src_domain, fp.domain) + extra_ns
-        key = (src_domain, fp.domain)
-        self.forwarded[key] = self.forwarded.get(key, 0) + 1
+        key = src_index * 3 + fp.index
+        self._forward_counts[key] += 1
+        latency = self._latency[key] + extra_ns
         receive = fp.port.receive
         if latency > 0:
-            self.sim.call_in(latency, lambda: receive(packet))
+            self.sim.defer(latency, receive, packet)
         else:
             receive(packet)
 
-    def _egress(self, packet: Packet, src_domain: FabricDomain,
+    def _egress(self, packet: Packet, src_index: int,
                 extra_ns: float = 0.0) -> None:
         if self._uplink is None:
             self.undeliverable += 1
@@ -160,11 +187,11 @@ class StingraySmartNic:
                 f"{self.name}: unknown destination {packet.eth.dst} "
                 "and no uplink attached")
         self.egressed += 1
-        latency = self._fabric_latency(src_domain,
-                                       FabricDomain.EXTERNAL) + extra_ns
+        # Destination EXTERNAL is index 0 in the flattened table.
+        latency = self._latency[src_index * 3] + extra_ns
         uplink = self._uplink
         if latency > 0:
-            self.sim.call_in(latency, lambda: uplink(packet))
+            self.sim.defer(latency, uplink, packet)
         else:
             uplink(packet)
 
@@ -173,19 +200,22 @@ class StingraySmartNic:
 
         The ARM<->host number is the paper's measured 2.56 µs one-way
         path (§3.3); external<->ARM/host are conventional NIC pipeline
-        and DMA costs.
+        and DMA costs.  Identity-compare chain (latencies are symmetric
+        per unordered pair): enum set/dict operations hash through a
+        Python-level ``__hash__`` and showed up hot under profile.
         """
         cfg = self.config
         if src is dst:
             return cfg.fabric_intra_ns
-        pair = {src, dst}
-        if pair == {FabricDomain.ARM, FabricDomain.HOST}:
-            return cfg.one_way_latency_ns
-        if pair == {FabricDomain.EXTERNAL, FabricDomain.ARM}:
-            return cfg.fabric_external_arm_ns
-        if pair == {FabricDomain.EXTERNAL, FabricDomain.HOST}:
-            return cfg.fabric_external_host_ns
-        raise HardwareError(f"unmapped fabric pair {src} -> {dst}")
+        external = FabricDomain.EXTERNAL
+        if src is external:
+            return (cfg.fabric_external_arm_ns if dst is FabricDomain.ARM
+                    else cfg.fabric_external_host_ns)
+        if dst is external:
+            return (cfg.fabric_external_arm_ns if src is FabricDomain.ARM
+                    else cfg.fabric_external_host_ns)
+        # The remaining distinct pair is ARM <-> HOST.
+        return cfg.one_way_latency_ns
 
     def __repr__(self) -> str:
         counts = {d.value: len(self.ports_in(d)) for d in FabricDomain}
@@ -195,11 +225,12 @@ class StingraySmartNic:
 class _FabricTx:
     """Adapter giving ports a Link-like ``transmit`` into the fabric."""
 
-    __slots__ = ("nic", "domain")
+    __slots__ = ("nic", "domain", "index")
 
     def __init__(self, nic: StingraySmartNic, domain: FabricDomain):
         self.nic = nic
         self.domain = domain
+        self.index = _DOMAIN_INDEX[domain]
 
     def transmit(self, packet: Packet) -> None:
-        self.nic._forward(packet, self.domain)
+        self.nic._forward(packet, self.index)

@@ -98,11 +98,10 @@ class Link:
                 injector.on_packet_lost(packet, where=self.name,
                                         kind=verdict)
                 return arrive_at
-        deliver = self.deliver
         if arrive_at > now:
-            self.sim.call_at(arrive_at, lambda: deliver(packet))
+            self.sim.defer_at(arrive_at, self.deliver, packet)
         else:
-            deliver(packet)
+            self.deliver(packet)
         return arrive_at
 
     @property

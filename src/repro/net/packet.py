@@ -34,7 +34,7 @@ PROTO_UDP = 17
 _packet_ids = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EthernetHeader:
     """Layer-2 header; the Stingray steers on ``dst`` (§3.3)."""
 
@@ -43,7 +43,7 @@ class EthernetHeader:
     ethertype: int = 0x0800  # IPv4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ipv4Header:
     """Minimal IPv4 header (addresses + TTL)."""
 
@@ -53,7 +53,7 @@ class Ipv4Header:
     protocol: int = PROTO_UDP
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UdpHeader:
     """UDP ports; dataplane systems demux requests on these."""
 
@@ -66,7 +66,7 @@ class UdpHeader:
                 raise NetworkError(f"UDP port out of range: {port}")
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestPayload:
     """An application request travelling in a packet.
 
@@ -79,7 +79,7 @@ class RequestPayload:
     kind: str = "request"
 
 
-@dataclass
+@dataclass(slots=True)
 class ResponsePayload:
     """A worker's response to the client."""
 
@@ -87,7 +87,7 @@ class ResponsePayload:
     kind: str = "response"
 
 
-@dataclass
+@dataclass(slots=True)
 class NotifyPayload:
     """Worker -> dispatcher notification (§3.4): finished or preempted."""
 
@@ -98,7 +98,7 @@ class NotifyPayload:
     kind: str = "notify"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A simulated network packet.
 

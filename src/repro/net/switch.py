@@ -133,8 +133,7 @@ class LearningSwitch:
                                         kind=verdict)
                 return
         if delay > 0:
-            deliver = port.deliver
-            self.sim.call_in(delay, lambda: deliver(packet))
+            self.sim.defer(delay, port.deliver, packet)
         else:
             port.deliver(packet)
 

@@ -60,6 +60,7 @@ class TaskQueue:
         self._heap: List[Tuple[float, int, Request]] = []
         self._tiebreak = itertools.count()
         self._getters: Deque["Event"] = deque()
+        self._deq_label = f"deq:{name}"
         #: Diagnostics.
         self.enqueued = 0
         self.dropped = 0
@@ -85,27 +86,34 @@ class TaskQueue:
         Returns False (and marks the request DROPPED) when at capacity.
         """
         # Hand directly to a waiting dispatcher if any.
-        while self._getters:
-            getter = self._getters.popleft()
-            if not getter.triggered:
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter._state == 0:  # pending (avoid the property hop)
                 request.state = RequestState.QUEUED
-                request.stamp("queued", self.sim.now)
+                stamps = request.stamps
+                if "queued" not in stamps:
+                    stamps["queued"] = self.sim._now
                 self.enqueued += 1
                 getter.succeed(request)
                 return True
-        if self.capacity is not None and len(self) >= self.capacity:
+        container = (self._fifo if self.policy is QueuePolicy.FIFO
+                     else self._heap)
+        if self.capacity is not None and len(container) >= self.capacity:
             self.dropped += 1
             request.state = RequestState.DROPPED
             return False
         request.state = RequestState.QUEUED
-        request.stamp("queued", self.sim.now)
+        stamps = request.stamps
+        if "queued" not in stamps:
+            stamps["queued"] = self.sim._now
         self.enqueued += 1
-        if self.policy is QueuePolicy.FIFO:
-            self._fifo.append(request)
+        if container is self._fifo:
+            container.append(request)
         else:
             heapq.heappush(self._heap, (request.remaining_ns,
                                         next(self._tiebreak), request))
-        depth = len(self)
+        depth = len(container)
         if depth > self.max_depth:
             self.max_depth = depth
         return True
@@ -114,7 +122,7 @@ class TaskQueue:
 
     def dequeue(self) -> "Event":
         """Event-valued removal of the head request (blocks while empty)."""
-        ev = self.sim.event(label=f"deq:{self.name}")
+        ev = self.sim.event(label=self._deq_label)
         ok, request = self.try_dequeue()
         if ok:
             ev.succeed(request)

@@ -102,12 +102,12 @@ class WorkerCore:
     def begin_wait(self) -> None:
         """Mark the start of a waiting-for-work interval."""
         if self._wait_started is None:
-            self._wait_started = self.sim.now
+            self._wait_started = self.sim._now
 
     def end_wait(self) -> None:
         """Close the current waiting interval and accrue it."""
         if self._wait_started is not None:
-            self.wait_ns += self.sim.now - self._wait_started
+            self.wait_ns += self.sim._now - self._wait_started
             self._wait_started = None
 
     # -- interrupt plumbing -----------------------------------------------------
@@ -160,7 +160,9 @@ class WorkerCore:
         previous_worker = request.worker_id
         request.state = RequestState.RUNNING
         request.worker_id = self.worker_id
-        request.stamp("first_run", self.sim.now)
+        stamps = request.stamps
+        if "first_run" not in stamps:
+            stamps["first_run"] = self.sim._now
 
         injector = self.sim.fault_injector
         if injector is not None:
@@ -176,18 +178,22 @@ class WorkerCore:
         # affinity argument); crossing workers pays the full cost.
         if request.context is None:
             request.context = ExecutionContext()
-            yield thread.execute(self.context_costs.spawn_ns)
+            spawn_ns = self.context_costs.spawn_ns
+            thread.busy_ns += spawn_ns
+            yield self.sim.timeout(spawn_ns)
         else:
             request.context.record_restore()
             warm = previous_worker == self.worker_id
             if warm:
                 self.warm_restores += 1
-            yield thread.execute(self.context_costs.restore_cost_ns(warm))
+            restore_ns = self.context_costs.restore_cost_ns(warm)
+            thread.busy_ns += restore_ns
+            yield self.sim.timeout(restore_ns)
 
         if self.preemption is not None:
             yield self.preemption.arm(cause=request)
 
-        started = self.sim.now
+        started = self.sim._now
         self._interruptible = True
         # A straggler window dilates the service demand; factor 1.0 is
         # the exact identity (x * 1.0 and x / 1.0 are bit-exact), so a
@@ -199,7 +205,7 @@ class WorkerCore:
             # a preempted episode only charges what actually ran.
             yield self.sim.timeout(request.remaining_ns * factor)
         except ProcessInterrupt:
-            ran = self.sim.now - started
+            ran = self.sim._now - started
             thread.busy_ns += ran
             self.service_ns += ran
             self._interruptible = False
@@ -229,7 +235,7 @@ class WorkerCore:
             self.preempted += 1
             return ExecutionOutcome.PREEMPTED
 
-        ran = self.sim.now - started
+        ran = self.sim._now - started
         thread.busy_ns += ran
         self.service_ns += ran
         self._interruptible = False

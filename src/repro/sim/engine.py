@@ -5,11 +5,38 @@ Time is in nanoseconds (see :mod:`repro.units`).  Events scheduled for
 the same instant are processed in FIFO order of scheduling (a strictly
 increasing sequence number breaks ties), which makes runs fully
 deterministic for a fixed seed.
+
+Hot-path design
+---------------
+A fig2-scale sweep dispatches millions of events, so the kernel keeps
+its constant factors small without ever changing *what* is scheduled:
+
+- :meth:`Simulator.run` inlines the dispatch loop (no per-event
+  :meth:`step` call) whenever ``step`` has not been overridden;
+  instrumented subclasses such as the sanitizer's automatically get the
+  legacy step-by-step loop instead, with identical semantics.
+- Processed :class:`~repro.sim.events.Timeout` and
+  :class:`~repro.sim.events.Event` objects are recycled through small
+  per-simulator freelists — but only when the kernel holds the *last*
+  reference (checked via ``sys.getrefcount``), so an event is never
+  reused while user code can still see it.  Subclasses (processes,
+  conditions) are never pooled.
+- :meth:`defer` / :meth:`defer_at` schedule a bare callback through a
+  pooled :class:`_Deferred` cell instead of a Timeout-plus-lambda pair;
+  they consume exactly one sequence number and one heap push, just like
+  :meth:`call_in` / :meth:`call_at`, so swapping one for the other
+  cannot reorder a run.
+
+None of this changes the number or order of heap pushes — the
+determinism contract is pinned by the golden differential tests.
 """
 
 from __future__ import annotations
 
-import heapq
+import gc
+
+from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import SchedulingError, SimulationError
@@ -19,6 +46,25 @@ from repro.sim.process import Process
 #: Priority levels: lower runs first among simultaneous events.
 URGENT = 0
 NORMAL = 1
+
+#: Freelist bound per pool: big enough to absorb steady-state churn,
+#: small enough that an idle simulator holds no meaningful memory.
+_POOL_CAP = 4096
+
+
+class _Deferred:
+    """A pooled schedule entry carrying a bare callback.
+
+    Not an :class:`Event`: it has no value, no callbacks list, and no
+    observable lifecycle, which is exactly what lets the kernel recycle
+    it unconditionally after firing.  Never escapes the kernel.
+    """
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func: Callable[..., None], args: tuple):
+        self.func = func
+        self.args = args
 
 
 class Simulator:
@@ -41,6 +87,10 @@ class Simulator:
     5.0
     """
 
+    __slots__ = ("_now", "_heap", "_seq", "_event_count", "_running",
+                 "fault_injector", "_timeout_pool", "_event_pool",
+                 "_deferred_pool")
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._heap: list = []
@@ -53,6 +103,9 @@ class Simulator:
         #: channels) can consult it without threading a new parameter
         #: through every constructor.
         self.fault_injector = None
+        self._timeout_pool: list = []
+        self._event_pool: list = []
+        self._deferred_pool: list = []
 
     # -- clock ---------------------------------------------------------------
 
@@ -69,11 +122,33 @@ class Simulator:
     # -- factories -----------------------------------------------------------
 
     def event(self, label: str = "") -> Event:
-        """Create a fresh pending :class:`Event`."""
+        """Create a fresh pending :class:`Event` (possibly recycled)."""
+        pool = self._event_pool
+        if pool:
+            # Pooled events arrive with an empty, reusable callbacks list.
+            ev = pool.pop()
+            ev._value = None
+            ev._ok = None
+            ev._state = 0
+            ev.label = label
+            return ev
         return Event(self, label=label)
 
     def timeout(self, delay: float, value: Any = None, label: str = "") -> Timeout:
         """Create an event that fires *delay* ns from now."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SchedulingError(f"negative timeout delay: {delay}")
+            ev = pool.pop()
+            ev._value = value
+            ev._ok = True
+            ev._state = 1
+            ev.label = label
+            ev.delay = delay
+            self._seq = seq = self._seq + 1
+            heappush(self._heap, (self._now + delay, NORMAL, seq, ev))
+            return ev
         return Timeout(self, delay, value=value, label=label)
 
     def process(self, generator: Generator, label: str = "") -> Process:
@@ -89,7 +164,12 @@ class Simulator:
         return AllOf(self, events)
 
     def call_at(self, when: float, func: Callable[[], None]) -> Event:
-        """Run *func* (no args) at absolute time *when*."""
+        """Run *func* (no args) at absolute time *when*.
+
+        Returns the underlying event, so the caller can wait on it or
+        observe it; when the handle is not needed, :meth:`defer_at` is
+        the cheaper equivalent.
+        """
         if when < self._now:
             raise SchedulingError(
                 f"call_at({when}) is in the past (now={self._now})")
@@ -98,10 +178,46 @@ class Simulator:
         return ev
 
     def call_in(self, delay: float, func: Callable[[], None]) -> Event:
-        """Run *func* (no args) after *delay* ns."""
+        """Run *func* (no args) after *delay* ns.
+
+        Returns the underlying event; when the handle is not needed,
+        :meth:`defer` is the cheaper equivalent.
+        """
         ev = self.timeout(delay)
         ev.callbacks.append(lambda _ev: func())
         return ev
+
+    def defer(self, delay: float, func: Callable[..., None], *args) -> None:
+        """Run ``func(*args)`` after *delay* ns; fire-and-forget.
+
+        The scheduling arithmetic, priority, and sequence-number
+        consumption are identical to :meth:`call_in`, so the two are
+        interchangeable without reordering a run — ``defer`` simply
+        returns no handle and recycles its schedule cell.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        pool = self._deferred_pool
+        if pool:
+            cell = pool.pop()
+            cell.func = func
+            cell.args = args
+        else:
+            cell = _Deferred(func, args)
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now + delay, NORMAL, seq, cell))
+
+    def defer_at(self, when: float, func: Callable[..., None], *args) -> None:
+        """Run ``func(*args)`` at absolute time *when*; fire-and-forget.
+
+        Mirrors :meth:`call_at` exactly, including its float arithmetic
+        (``now + (when - now)``), so swapping one for the other cannot
+        perturb event timestamps.
+        """
+        if when < self._now:
+            raise SchedulingError(
+                f"defer_at({when}) is in the past (now={self._now})")
+        self.defer(when - self._now, func, *args)
 
     # -- scheduling core -------------------------------------------------------
 
@@ -111,7 +227,7 @@ class Simulator:
         if delay < 0:
             raise SchedulingError(f"negative delay: {delay}")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        heappush(self._heap, (self._now + delay, priority, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
@@ -121,9 +237,17 @@ class Simulator:
         """Process exactly one event (advancing the clock to it)."""
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _seq, event = heappop(self._heap)
         self._now = when
         self._event_count += 1
+        if type(event) is _Deferred:
+            func, args = event.func, event.args
+            event.func = event.args = None
+            pool = self._deferred_pool
+            if len(pool) < _POOL_CAP:
+                pool.append(event)
+            func(*args)
+            return
         callbacks, event.callbacks = event.callbacks, None
         event._mark_processed()
         for callback in callbacks:
@@ -147,6 +271,87 @@ class Simulator:
             raise SimulationError("run() re-entered; the simulator is not reentrant")
         if until is not None and until < self._now:
             raise SchedulingError(f"until={until} is in the past (now={self._now})")
+        if type(self).step is not Simulator.step:
+            # An instrumented subclass (e.g. the sanitizer) overrode
+            # step(): dispatch through it, one event at a time.
+            self._run_stepwise(until, max_events)
+            return
+        self._running = True
+        # Pause cyclic GC for the duration of the loop: the hot path
+        # allocates heap tuples, packets, and requests at event rate,
+        # and each collection pass walks the whole live graph.  Nothing
+        # about collection timing is observable to the simulation, so
+        # this cannot perturb results; the deferred pass runs at exit.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        heap = self._heap
+        pop = heappop
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        deferred_pool = self._deferred_pool
+        # Hoist the per-iteration None checks: an unbounded run compares
+        # against +inf, which no event time or budget ever exceeds.
+        horizon = float("inf") if until is None else until
+        count = self._event_count
+        limit = float("inf") if max_events is None else count + max_events
+        try:
+            while heap:
+                if heap[0][0] > horizon:
+                    self._now = until
+                    return
+                when, _prio, _seq, event = pop(heap)
+                self._now = when
+                count += 1
+                cls = event.__class__
+                if cls is Timeout:
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._state = 2
+                    for callback in callbacks:
+                        callback(event)
+                    # Recycle only exact-class events the kernel holds the
+                    # last reference to (local + getrefcount argument = 2):
+                    # anything user code kept a handle on stays untouched.
+                    # The detached callbacks list rides along (cleared), so
+                    # pooled events always carry an empty list ready to use.
+                    if getrefcount(event) == 2 and \
+                            len(timeout_pool) < _POOL_CAP:
+                        del callbacks[:]
+                        event.callbacks = callbacks
+                        event._value = None
+                        timeout_pool.append(event)
+                elif cls is _Deferred:
+                    func, args = event.func, event.args
+                    event.func = event.args = None
+                    if len(deferred_pool) < _POOL_CAP:
+                        deferred_pool.append(event)
+                    func(*args)
+                else:
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._state = 2
+                    for callback in callbacks:
+                        callback(event)
+                    if cls is Event:
+                        if getrefcount(event) == 2 and \
+                                len(event_pool) < _POOL_CAP:
+                            del callbacks[:]
+                            event.callbacks = callbacks
+                            event._value = None
+                            event_pool.append(event)
+                if count > limit:
+                    raise SimulationError(
+                        f"run() exceeded max_events={max_events}")
+            if until is not None:
+                self._now = until
+        finally:
+            self._event_count = count
+            self._running = False
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run_stepwise(self, until: Optional[float],
+                      max_events: Optional[int]) -> None:
+        """The legacy one-step()-per-event loop, for overridden step()."""
         self._running = True
         processed = 0
         try:
@@ -183,6 +388,20 @@ class Simulator:
         if not event.ok:
             raise event.value
         return event.value
+
+    # -- teardown ------------------------------------------------------------
+
+    def pool_sizes(self) -> dict:
+        """Current freelist occupancy (diagnostics and tests)."""
+        return {"timeout": len(self._timeout_pool),
+                "event": len(self._event_pool),
+                "deferred": len(self._deferred_pool)}
+
+    def close(self) -> None:
+        """Drop all pooled objects (teardown; the simulator stays usable)."""
+        self._timeout_pool.clear()
+        self._event_pool.clear()
+        self._deferred_pool.clear()
 
     def __repr__(self) -> str:
         return (f"<Simulator t={self._now:.1f}ns pending={len(self._heap)} "

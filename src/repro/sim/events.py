@@ -8,11 +8,21 @@ An :class:`Event` moves through three states::
 the simulator's schedule; ``PROCESSED`` means its callbacks have run.
 Processes wait on events by ``yield``-ing them; the kernel resumes the
 process with the event's value, or throws the event's exception into it.
+
+Hot-path note: state lives internally as a small int (``_PENDING`` /
+``_TRIGGERED`` / ``_PROCESSED``) because millions of events flow
+through a sweep and enum identity checks are measurably slower; the
+public :attr:`Event.state` property still answers with the
+:class:`EventState` enum.  Triggering pushes straight onto the owning
+simulator's heap — the schedule tuple layout ``(when, priority, seq,
+event)`` is shared with :mod:`repro.sim.engine` and must never diverge
+from it.
 """
 
 from __future__ import annotations
 
 import enum
+from heapq import heappush
 from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
 from repro.errors import SchedulingError, SimulationError
@@ -27,6 +37,16 @@ class EventState(enum.Enum):
     PENDING = "pending"
     TRIGGERED = "triggered"
     PROCESSED = "processed"
+
+
+#: Internal integer states (indices into _STATES); the kernel compares
+#: these directly instead of enum members.
+_PENDING, _TRIGGERED, _PROCESSED = 0, 1, 2
+_STATES = (EventState.PENDING, EventState.TRIGGERED, EventState.PROCESSED)
+
+#: Default scheduling priority; mirrors ``engine.NORMAL`` (events.py
+#: cannot import the engine — cycle), pinned by a unit test.
+_NORMAL = 1
 
 
 class Event:
@@ -48,7 +68,7 @@ class Event:
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._ok: Optional[bool] = None
-        self._state = EventState.PENDING
+        self._state = _PENDING
         self.label = label
 
     # -- state inspection --------------------------------------------------
@@ -56,17 +76,17 @@ class Event:
     @property
     def state(self) -> EventState:
         """Current lifecycle state."""
-        return self._state
+        return _STATES[self._state]
 
     @property
     def triggered(self) -> bool:
         """True once the event has a result (value or exception)."""
-        return self._state is not EventState.PENDING
+        return self._state != _PENDING
 
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self._state is EventState.PROCESSED
+        return self._state == _PROCESSED
 
     @property
     def ok(self) -> bool:
@@ -86,38 +106,52 @@ class Event:
 
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully with *value* after *delay* ns."""
-        if self._state is not EventState.PENDING:
+        if self._state != _PENDING:
             raise SchedulingError(f"{self!r} already triggered")
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
         self._ok = True
         self._value = value
-        self._state = EventState.TRIGGERED
-        self.sim._schedule(self, delay)
+        self._state = _TRIGGERED
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now + delay, _NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
         """Trigger the event with an exception after *delay* ns."""
-        if self._state is not EventState.PENDING:
+        if self._state != _PENDING:
             raise SchedulingError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
         self._ok = False
         self._value = exception
-        self._state = EventState.TRIGGERED
-        self.sim._schedule(self, delay)
+        self._state = _TRIGGERED
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now + delay, _NORMAL, seq, self))
         return self
 
     # -- kernel hooks --------------------------------------------------------
 
     def _mark_processed(self) -> None:
-        self._state = EventState.PROCESSED
+        self._state = _PROCESSED
 
     def __repr__(self) -> str:
         tag = f" {self.label!r}" if self.label else ""
-        return f"<{type(self).__name__}{tag} {self._state.value}>"
+        return f"<{type(self).__name__}{tag} {_STATES[self._state].value}>"
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Construction is flattened (no ``super().__init__`` chain, schedule
+    push inlined): timeouts are the single most allocated object in a
+    sweep, and the engine's freelist (:meth:`Simulator.timeout`)
+    recycles them through exactly this field layout.
+    """
 
     __slots__ = ("delay",)
 
@@ -125,12 +159,15 @@ class Timeout(Event):
                  label: str = ""):
         if delay < 0:
             raise SchedulingError(f"negative timeout delay: {delay}")
-        super().__init__(sim, label=label)
-        self.delay = delay
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        self._state = EventState.TRIGGERED
-        sim._schedule(self, delay)
+        self._ok = True
+        self._state = _TRIGGERED
+        self.label = label
+        self.delay = delay
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now + delay, _NORMAL, seq, self))
 
 
 class _Condition(Event):
@@ -148,14 +185,14 @@ class _Condition(Event):
             self.succeed(self._collect())
             return
         for ev in self.events:
-            if ev.processed:
+            if ev._state == _PROCESSED:
                 self._child_done(ev)
             else:
                 ev.callbacks.append(self._child_done)
 
     def _collect(self) -> dict:
         """Results of all triggered child events, in declaration order."""
-        return {ev: ev._value for ev in self.events if ev.triggered}
+        return {ev: ev._value for ev in self.events if ev._state != _PENDING}
 
     def _child_done(self, event: Event) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -172,7 +209,7 @@ class AnyOf(_Condition):
     __slots__ = ()
 
     def _child_done(self, event: Event) -> None:
-        if self.triggered:
+        if self._state != _PENDING:
             return
         if not event._ok:
             self.fail(event._value)
@@ -190,7 +227,7 @@ class AllOf(_Condition):
     __slots__ = ()
 
     def _child_done(self, event: Event) -> None:
-        if self.triggered:
+        if self._state != _PENDING:
             return
         if not event._ok:
             self.fail(event._value)

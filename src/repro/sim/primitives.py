@@ -11,10 +11,11 @@
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque, Optional, TYPE_CHECKING
 
 from repro.errors import QueueFullError, SimulationError
-from repro.sim.events import Event
+from repro.sim.events import Event, _NORMAL, _PENDING, _TRIGGERED
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
@@ -45,6 +46,10 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple] = deque()  # (event, item)
+        # Event labels are fixed per store; building them per call is
+        # pure allocation churn on the hottest primitive path.
+        self._put_label = f"put:{name}"
+        self._get_label = f"get:{name}"
         #: Cumulative number of items ever accepted (diagnostics).
         self.total_put = 0
         #: High-water mark of the buffer length (diagnostics).
@@ -60,19 +65,26 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Insert *item*; returns an event that fires once accepted."""
-        ev = self.sim.event(label=f"put:{self.name}")
+        ev = self.sim.event(label=self._put_label)
         # Hand straight to a waiting getter if any.
-        while self._getters:
-            getter = self._getters.popleft()
-            if not getter.triggered:  # skip cancelled waits
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter._state == _PENDING:  # skip cancelled waits
                 getter.succeed(item)
                 self.total_put += 1
                 ev.succeed()
                 return ev
-        if self.is_full:
+        items = self._items
+        capacity = self.capacity
+        if capacity is not None and len(items) >= capacity:
             self._putters.append((ev, item))
             return ev
-        self._accept(item)
+        items.append(item)
+        self.total_put += 1
+        depth = len(items)
+        if depth > self.max_depth:
+            self.max_depth = depth
         ev.succeed()
         return ev
 
@@ -81,15 +93,29 @@ class Store:
 
         Models a hardware ring that tail-drops on overflow.
         """
-        while self._getters:
-            getter = self._getters.popleft()
-            if not getter.triggered:
-                getter.succeed(item)
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter._state == _PENDING:
+                # Hand off directly (succeed() inlined: the pending
+                # check above already guards the state transition).
+                getter._ok = True
+                getter._value = item
+                getter._state = _TRIGGERED
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap, (sim._now + 0.0, _NORMAL, seq, getter))
                 self.total_put += 1
                 return True
-        if self.is_full:
+        items = self._items
+        capacity = self.capacity
+        if capacity is not None and len(items) >= capacity:
             return False
-        self._accept(item)
+        items.append(item)
+        self.total_put += 1
+        depth = len(items)
+        if depth > self.max_depth:
+            self.max_depth = depth
         return True
 
     def put_or_raise(self, item: Any) -> None:
@@ -99,19 +125,39 @@ class Store:
 
     def get(self) -> Event:
         """Remove and return the oldest item (event-valued)."""
-        ev = self.sim.event(label=f"get:{self.name}")
-        if self._items:
-            ev.succeed(self._items.popleft())
-            self._admit_putter()
-        else:
-            self._getters.append(ev)
+        sim = self.sim
+        items = self._items
+        if items:
+            # Item available: build the event already triggered and
+            # schedule it directly — one frame instead of the three-call
+            # event()/succeed() chain on the hottest ring path.  The
+            # arithmetic matches succeed(delay=0.0): now + 0.0 is
+            # bit-identical for the kernel's non-negative clock.
+            pool = sim._event_pool
+            if pool:
+                ev = pool.pop()
+                ev.label = self._get_label
+            else:
+                ev = Event(sim, label=self._get_label)
+            ev._value = items.popleft()
+            ev._ok = True
+            ev._state = _TRIGGERED
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (sim._now + 0.0, _NORMAL, seq, ev))
+            if self._putters:
+                self._admit_putter()
+            return ev
+        ev = sim.event(label=self._get_label)
+        self._getters.append(ev)
         return ev
 
     def try_get(self) -> tuple:
         """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
-        if self._items:
-            item = self._items.popleft()
-            self._admit_putter()
+        items = self._items
+        if items:
+            item = items.popleft()
+            if self._putters:
+                self._admit_putter()
             return True, item
         return False, None
 
@@ -139,7 +185,7 @@ class Store:
     def _admit_putter(self) -> None:
         while self._putters and not self.is_full:
             ev, item = self._putters.popleft()
-            if ev.triggered:
+            if ev._state != _PENDING:
                 continue
             self._accept(item)
             ev.succeed()
@@ -166,6 +212,7 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        self._req_label = f"req:{name}"
 
     @property
     def in_use(self) -> int:
@@ -179,7 +226,7 @@ class Resource:
 
     def request(self) -> Event:
         """Claim a slot; the returned event fires when granted."""
-        ev = self.sim.event(label=f"req:{self.name}")
+        ev = self.sim.event(label=self._req_label)
         if self._in_use < self.slots:
             self._in_use += 1
             ev.succeed()
@@ -193,7 +240,7 @@ class Resource:
             raise SimulationError(f"release() of idle resource {self.name!r}")
         while self._waiters:
             waiter = self._waiters.popleft()
-            if not waiter.triggered:
+            if waiter._state == _PENDING:
                 waiter.succeed()  # hand the slot over directly
                 return
         self._in_use -= 1
@@ -227,7 +274,7 @@ class Channel:
         if self.latency == 0.0:
             self._arrive(item)
         else:
-            self.sim.call_in(self.latency, lambda: self._arrive(item))
+            self.sim.defer(self.latency, self._arrive, item)
 
     def _arrive(self, item: Any) -> None:
         if not self.rx.try_put(item):
@@ -254,21 +301,34 @@ class Signal:
         self._waiters: Deque[Event] = deque()
         #: Number of times the signal has fired (diagnostics).
         self.fired = 0
+        self._wait_label = f"signal:{name}"
 
     def wait(self) -> Event:
         """An event that fires at the signal's next firing."""
-        ev = self.sim.event(label=f"signal:{self.name}")
+        ev = self.sim.event(label=self._wait_label)
         self._waiters.append(ev)
         return ev
 
     def fire(self, value: Any = None) -> int:
         """Wake all current waiters; returns how many were woken."""
         self.fired += 1
+        if not self._waiters:
+            return 0
         woken = 0
         waiters, self._waiters = self._waiters, deque()
+        sim = self.sim
+        heap = sim._heap
+        # No callbacks run inside this loop, so the clock is stable.
+        when = sim._now + 0.0
         for waiter in waiters:
-            if not waiter.triggered:
-                waiter.succeed(value)
+            if waiter._state == _PENDING:
+                # succeed() inlined; the pending check guards the
+                # transition exactly as the method would.
+                waiter._ok = True
+                waiter._value = value
+                waiter._state = _TRIGGERED
+                sim._seq = seq = sim._seq + 1
+                heappush(heap, (when, _NORMAL, seq, waiter))
                 woken += 1
         return woken
 

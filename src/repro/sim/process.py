@@ -14,6 +14,12 @@ Interrupts
 the generator at its current wait point.  The generator may catch it,
 save state, and continue — exactly how the paper's workers react to a
 local-APIC timer interrupt.
+
+Hot-path note: the resume trampoline binds ``generator.send`` /
+``generator.throw`` once at start (a bound-method lookup per event is
+measurable at fig2 scale), reads event state as the kernel's internal
+int, and short-circuits the ``isinstance`` check for the overwhelmingly
+common case of yielding a :class:`~repro.sim.events.Timeout`.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
 from repro.errors import ProcessInterrupt, SimulationError
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout, _PENDING, _PROCESSED
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
@@ -30,18 +36,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Process(Event):
     """A running simulation coroutine; also an event for its completion."""
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_send", "_throw")
 
     def __init__(self, sim: "Simulator", generator: Generator, label: str = ""):
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        try:
+            send = generator.send
+            throw = generator.throw
+        except AttributeError:
             raise SimulationError(
                 f"process() needs a generator, got {generator!r} — "
-                "did you forget to call the generator function?")
+                "did you forget to call the generator function?") from None
         super().__init__(sim, label=label)
         self._generator = generator
+        self._send = send
+        self._throw = throw
         self._waiting_on: Optional[Event] = None
         # Kick off on the next kernel step at the current instant.
-        bootstrap = sim.event(label=f"start:{label}")
+        bootstrap = sim.event(label=f"start:{label}" if label else "start:")
         bootstrap.callbacks.append(self._resume)
         bootstrap.succeed()
 
@@ -60,10 +71,10 @@ class Process(Event):
         Interrupting a finished process is a no-op, mirroring real
         interrupt delivery racing with task exit.
         """
-        if self.triggered:
+        if self._state != _PENDING:
             return
         target = self._waiting_on
-        if target is not None and not target.processed:
+        if target is not None and target._state != _PROCESSED:
             # Detach from whatever we were waiting on.
             try:
                 target.callbacks.remove(self._resume)
@@ -77,34 +88,31 @@ class Process(Event):
     # -- kernel machinery ---------------------------------------------------------
 
     def _deliver_interrupt(self, poke: Event) -> None:
-        if self.triggered:
+        if self._state != _PENDING:
             return
         # A resume may have been re-armed between interrupt() and delivery
         # (the interrupted wait completed at the same instant); detach again.
         target = self._waiting_on
-        if target is not None and not target.processed:
+        if target is not None and target._state != _PROCESSED:
             try:
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
         self._waiting_on = None
-        self._advance(throw=poke.value)
+        self._advance(throw=poke._value)
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:  # interrupted and finished before this fired
+        # The per-event trampoline: one kernel callback per resume, so
+        # the whole send-and-rearm path lives in this single frame
+        # (an extra delegation call per event is measurable at scale).
+        if self._state != _PENDING:  # interrupted and finished before this fired
             return
         self._waiting_on = None
-        if event._ok:
-            self._advance(send=event._value)
-        else:
-            self._advance(throw=event._value)
-
-    def _advance(self, send: Any = None, throw: Optional[BaseException] = None):
         try:
-            if throw is not None:
-                target = self._generator.throw(throw)
+            if event._ok:
+                target = self._send(event._value)
             else:
-                target = self._generator.send(send)
+                target = self._throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -116,8 +124,40 @@ class Process(Event):
         except Exception as exc:
             self.fail(exc)
             return
+        # Re-arm (the body of _wait_on, inlined for the common case: an
+        # unprocessed same-simulator Timeout or plain Event yielded from
+        # the generator — Store gets/puts and Signal waits are exact-class
+        # Events, so together these cover nearly every resume).
+        cls = target.__class__
+        if (cls is Timeout or cls is Event) and target.sim is self.sim \
+                and target._state != _PROCESSED:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+            return
+        self._wait_on(target)
 
-        if not isinstance(target, Event):
+    def _advance(self, send: Any = None, throw: Optional[BaseException] = None):
+        try:
+            if throw is not None:
+                target = self._throw(throw)
+            else:
+                target = self._send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessInterrupt as exc:
+            # An uncaught interrupt kills the process; treat as failure so
+            # waiters notice rather than hanging.
+            self.fail(exc)
+            return
+        except Exception as exc:
+            self.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        """Validate the yielded *target* and arm the next resume."""
+        if target.__class__ is not Timeout and not isinstance(target, Event):
             self._generator.close()
             self.fail(SimulationError(
                 f"process {self.label!r} yielded {target!r}; "
@@ -130,7 +170,7 @@ class Process(Event):
             return
 
         self._waiting_on = target
-        if target.processed:
+        if target._state == _PROCESSED:
             # Already done: resume at the current instant via the schedule
             # to preserve FIFO fairness.
             relay = self.sim.event()

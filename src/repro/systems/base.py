@@ -89,8 +89,7 @@ class BaseSystem:
         if self.recovery is not None:
             self.recovery.note_ingress(request)
         if self.client_wire_ns > 0:
-            self.sim.call_in(self.client_wire_ns,
-                             lambda: self._server_ingress(request))
+            self.sim.defer(self.client_wire_ns, self._server_ingress, request)
         else:
             self._server_ingress(request)
 
@@ -102,8 +101,7 @@ class BaseSystem:
     def respond(self, request: Request) -> None:
         """Ship the response back over the client wire and record it."""
         if self.client_wire_ns > 0:
-            self.sim.call_in(self.client_wire_ns,
-                             lambda: self._complete(request))
+            self.sim.defer(self.client_wire_ns, self._complete, request)
         else:
             self._complete(request)
 

@@ -57,17 +57,20 @@ SERVICE_IP = 0x0A00000A
 SERVICE_PORT = 9000
 
 
-def deferred(sim: "Simulator", delay_ns: float, fn: Callable[[], None]) -> None:
-    """Run *fn* after *delay_ns*; immediately when the delay is zero.
+def deferred(sim: "Simulator", delay_ns: float,
+             fn: Callable[..., None], *args) -> None:
+    """Run ``fn(*args)`` after *delay_ns*; immediately when zero.
 
     The standard inter-thread/inter-core handoff: a positive hop cost
     becomes a scheduled callback, a zero hop stays synchronous so it
-    adds no kernel event.
+    adds no kernel event.  Passing the arguments through (rather than
+    closing over them) lets hot callers reuse one bound method instead
+    of allocating a closure per message.
     """
     if delay_ns > 0:
-        sim.call_in(delay_ns, fn)
+        sim.defer(delay_ns, fn, *args)
     else:
-        fn()
+        fn(*args)
 
 
 def make_context_costs(costs) -> ContextCosts:
@@ -252,16 +255,21 @@ class HostShinjukuPipeline:
     def _networker_loop(self):
         hop = self.costs.interthread_hop_ns
         sim = self.sim
+        timeout = sim.timeout
+        rx_get = self.rx_ring.get
+        thread = self.networker_thread
+        pkt_ns = self.costs.networker_pkt_ns
+        arrive = self._ingest_arrive
         while True:
-            request = yield self.rx_ring.get()
-            yield self.networker_thread.execute(self.costs.networker_pkt_ns)
+            request = yield rx_get()
+            thread.busy_ns += pkt_ns
+            yield timeout(pkt_ns)
             request.stamp("networker_done", sim.now)
+            deferred(sim, hop, arrive, request)
 
-            def _arrive(req=request) -> None:
-                self.ingest.try_put(req)
-                self.work_signal.fire()
-
-            deferred(sim, hop, _arrive)
+    def _ingest_arrive(self, request: Request) -> None:
+        self.ingest.try_put(request)
+        self.work_signal.fire()
 
     # -- the dispatcher ------------------------------------------------------------
 
@@ -275,29 +283,46 @@ class HostShinjukuPipeline:
         """
         op = self.costs.dispatcher_op_ns
         thread = self.dispatcher_thread
+        timeout = self.sim.timeout
+        notif_get = self.notifications.try_get
+        ingest_get = self.ingest.try_get
+        task_queue = self.task_queue
+        # The underlying containers never get reassigned, so their
+        # truthiness is a call-free emptiness test.
+        tq_fifo = task_queue._fifo
+        tq_heap = task_queue._heap
+        tracker = self.tracker
+        # The default policy ignores the queue head and just asks the
+        # tracker; skip the delegation (and the peek) on the hot path.
+        if type(self.policy) is CentralizedFifoPolicy:
+            select = tracker.select
+        else:
+            select_worker = self.policy.select_worker
+            peek = task_queue.peek
+            select = lambda: select_worker(tracker, peek())
+        wait = self.work_signal.wait
         while True:
-            progressed = False
-            ok, message = self.notifications.try_get()
+            ok, message = notif_get()
             if ok:
-                yield thread.execute(op)
+                thread.busy_ns += op
+                yield timeout(op)
                 self._handle_notification(message)
-                progressed = True
-            elif len(self.task_queue) > 0 and \
-                    (worker_id := self.policy.select_worker(
-                        self.tracker, self.task_queue.peek())) is not None:
-                ok, request = self.task_queue.try_dequeue()
+                continue
+            if (tq_fifo or tq_heap) and \
+                    (worker_id := select()) is not None:
+                ok, request = task_queue.try_dequeue()
                 assert ok and request is not None
-                yield thread.execute(op)
+                thread.busy_ns += op
+                yield timeout(op)
                 self._dispatch(request, worker_id)
-                progressed = True
-            else:
-                ok, request = self.ingest.try_get()
-                if ok:
-                    yield thread.execute(op)
-                    self._enqueue(request)
-                    progressed = True
-            if not progressed:
-                yield self.work_signal.wait()
+                continue
+            ok, request = ingest_get()
+            if ok:
+                thread.busy_ns += op
+                yield timeout(op)
+                self._enqueue(request)
+                continue
+            yield wait()
 
     def _enqueue(self, request: Request) -> None:
         accepted = self.task_queue.enqueue(request)
@@ -315,9 +340,8 @@ class HostShinjukuPipeline:
         self.tracker.credit(worker_id)
         request.stamp("dispatched", self.sim.now)
         self.dispatched += 1
-        mailbox = self.mailboxes[worker_id]
         deferred(self.sim, self.costs.interthread_hop_ns,
-                 lambda: mailbox.try_put(request))
+                 self.mailboxes[worker_id].try_put, request)
         if self.tracer is not None:
             self.tracer.emit(self.tracer_scope, "dispatch",
                              request=request.request_id, worker=worker_id)
@@ -327,12 +351,19 @@ class HostShinjukuPipeline:
     def _worker_loop(self, local_id: int, worker: WorkerCore):
         mailbox = self.mailboxes[local_id]
         thread = worker.thread
+        timeout = self.sim.timeout
+        mailbox_get = mailbox.get
+        run_request = worker.run_request
+        rx_ns = self.costs.worker_rx_ns
+        response_tx_ns = self.costs.worker_response_tx_ns
+        notify_ns = self.costs.worker_notify_ns
         while True:
             worker.begin_wait()
-            request = yield mailbox.get()
+            request = yield mailbox_get()
             worker.end_wait()
-            yield thread.execute(self.costs.worker_rx_ns)
-            outcome = yield from worker.run_request(request)
+            thread.busy_ns += rx_ns
+            yield timeout(rx_ns)
+            outcome = yield from run_request(request)
             if worker.crashed:
                 # Dead core: orphan the episode (no notify — the credit
                 # stays consumed, which is fine since the tracker also
@@ -344,24 +375,28 @@ class HostShinjukuPipeline:
                         injector.handle_worker_failure(worker, request)
                 return
             if outcome is ExecutionOutcome.FINISHED:
-                yield thread.execute(self.costs.worker_response_tx_ns)
+                thread.busy_ns += response_tx_ns
+                yield timeout(response_tx_ns)
                 self.respond(request)
-                yield thread.execute(self.costs.worker_notify_ns)
+                thread.busy_ns += notify_ns
+                yield timeout(notify_ns)
                 self._notify(local_id, "finished", request)
             elif outcome is ExecutionOutcome.SKIPPED:
                 # Already reaped while queued: just release the credit.
-                yield thread.execute(self.costs.worker_notify_ns)
+                thread.busy_ns += notify_ns
+                yield timeout(notify_ns)
                 self._notify(local_id, "cancelled", request)
             else:
-                yield thread.execute(self.costs.worker_notify_ns)
+                thread.busy_ns += notify_ns
+                yield timeout(notify_ns)
                 self._notify(local_id, "preempted", request)
 
     def _notify(self, worker_id: int, outcome: str, request: Request) -> None:
         message = NotifyMessage(worker_id=worker_id, outcome=outcome,
                                 request=request)
+        deferred(self.sim, self.costs.interthread_hop_ns,
+                 self._notification_arrive, message)
 
-        def _arrive() -> None:
-            self.notifications.try_put(message)
-            self.work_signal.fire()
-
-        deferred(self.sim, self.costs.interthread_hop_ns, _arrive)
+    def _notification_arrive(self, message: NotifyMessage) -> None:
+        self.notifications.try_put(message)
+        self.work_signal.fire()

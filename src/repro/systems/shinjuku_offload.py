@@ -37,11 +37,13 @@ from repro.hw.smartnic import FabricDomain, StingraySmartNic
 from repro.metrics.collector import MetricsCollector
 from repro.net.addressing import IpAddress, MacAddress, mac_allocator
 from repro.net.packet import (
+    EthernetHeader,
+    Ipv4Header,
     NotifyPayload,
     Packet,
     RequestPayload,
     ResponsePayload,
-    make_udp_packet,
+    UdpHeader,
 )
 from repro.runtime.request import Request
 from repro.runtime.worker import ExecutionOutcome, WorkerCore
@@ -115,6 +117,21 @@ class ShinjukuOffloadSystem(BaseSystem):
         # -- pseudo-client endpoint (for addressing responses) -------------------------
         self.client_mac: MacAddress = next(self._macs)
         self.client_ip = IpAddress.parse("10.0.2.1")
+        # Cached header objects for the three hot packet paths: frozen
+        # dataclasses are immutable, so one instance per (src, dst) pair
+        # serves every packet on that path.
+        self._ingress_headers = (
+            EthernetHeader(src=self.client_mac, dst=self.service_port.mac),
+            Ipv4Header(src=self.client_ip, dst=self.service_port.ip))
+        self._response_headers = {
+            port: (EthernetHeader(src=port.mac, dst=self.client_mac),
+                   Ipv4Header(src=port.ip, dst=self.client_ip))
+            for port in self.worker_ports}
+        self._notify_headers = {
+            port: (EthernetHeader(src=port.mac, dst=self.notify_port.mac),
+                   Ipv4Header(src=port.ip, dst=self.notify_port.ip),
+                   UdpHeader(src_port=SERVICE_PORT, dst_port=SERVICE_PORT))
+            for port in self.worker_ports}
         # -- workers ---------------------------------------------------------------------
         #: NIC-driven preemption (mechanism "nic_scan"): workers carry
         #: no local timer; the NIC tracks execution status and sends
@@ -165,10 +182,10 @@ class ShinjukuOffloadSystem(BaseSystem):
 
     def _server_ingress(self, request: Request) -> None:
         request.stamp("nic_rx", self.sim.now)
-        packet = make_udp_packet(
-            src_mac=self.client_mac, dst_mac=self.service_port.mac,
-            src_ip=self.client_ip, dst_ip=self.service_port.ip,
-            src_port=request.src_port, dst_port=SERVICE_PORT,
+        eth, ip = self._ingress_headers
+        packet = Packet(
+            eth=eth, ip=ip,
+            udp=UdpHeader(src_port=request.src_port, dst_port=SERVICE_PORT),
             payload=RequestPayload(request=request),
             payload_bytes=request.size_bytes)
         self.nic.external_ingress(packet)
@@ -177,20 +194,27 @@ class ShinjukuOffloadSystem(BaseSystem):
 
     def _networker_loop(self):
         costs = self.config.nic.costs
+        pkt_ns = costs.networker_pkt_ns
+        hop = costs.intercore_hop_ns
+        sim = self.sim
+        timeout = sim.timeout
+        defer = sim.defer
+        thread = self.networker_thread
+        poll = self.service_port.poll
+        submit = self.dispatcher.submit
         while True:
-            packet = yield self.service_port.poll()
-            yield self.networker_thread.execute(costs.networker_pkt_ns)
+            packet = yield poll()
+            thread.busy_ns += pkt_ns
+            yield timeout(pkt_ns)
             payload = packet.payload
             assert isinstance(payload, RequestPayload)
             request = payload.request
-            request.stamp("networker_done", self.sim.now)
+            request.stamp("networker_done", sim.now)
             # Shared memory to the dispatcher's queue-manager core.
-            hop = costs.intercore_hop_ns
             if hop > 0:
-                self.sim.call_in(
-                    hop, lambda req=request: self.dispatcher.submit(req))
+                defer(hop, submit, request)
             else:
-                self.dispatcher.submit(request)
+                submit(request)
             if self.tracer is not None:
                 self.tracer.emit(self.name, "networker",
                                  request=request.request_id)
@@ -201,11 +225,19 @@ class ShinjukuOffloadSystem(BaseSystem):
         port = self.worker_ports[worker.worker_id]
         thread = worker.thread
         costs = self.config.worker_costs
+        rx_parse_ns = costs.rx_parse_ns
+        response_tx_ns = costs.response_tx_ns
+        notify_tx_ns = costs.notify_tx_ns
+        timeout = self.sim.timeout
+        poll = port.poll
+        run_request = worker.run_request
+        worker_id = worker.worker_id
         while True:
             worker.begin_wait()
-            packet = yield port.poll()
+            packet = yield poll()
             worker.end_wait()
-            yield thread.execute(costs.rx_parse_ns)
+            thread.busy_ns += rx_parse_ns
+            yield timeout(rx_parse_ns)
             payload = packet.payload
             assert isinstance(payload, RequestPayload)
             request = payload.request
@@ -214,11 +246,11 @@ class ShinjukuOffloadSystem(BaseSystem):
                 # informed by how many requests it already had
                 # outstanding at this core (§5.2's safety argument).
                 in_flight = max(
-                    0, self.tracker.outstanding(worker.worker_id) - 1)
+                    0, self.tracker.outstanding(worker_id) - 1)
                 level = self.ddio.place(in_flight_at_core=in_flight)
                 yield thread.execute(
                     self.ddio.read_cost_ns(request.size_bytes, level))
-            outcome = yield from worker.run_request(request)
+            outcome = yield from run_request(request)
             if worker.crashed:
                 # Dead core: no response, no notify — the orphan goes
                 # to failover and the dispatcher stops steering here.
@@ -227,35 +259,38 @@ class ShinjukuOffloadSystem(BaseSystem):
                     self.worker_failed(worker, request)
                 return
             if outcome is ExecutionOutcome.FINISHED:
-                yield thread.execute(costs.response_tx_ns)
+                thread.busy_ns += response_tx_ns
+                yield timeout(response_tx_ns)
                 self._send_response(port, request)
-                yield thread.execute(costs.notify_tx_ns)
-                self._send_notify(port, worker.worker_id, "finished", request)
+                thread.busy_ns += notify_tx_ns
+                yield timeout(notify_tx_ns)
+                self._send_notify(port, worker_id, "finished", request)
             elif outcome is ExecutionOutcome.SKIPPED:
                 # Reaped while queued: release the credit, nothing ran.
-                yield thread.execute(costs.notify_tx_ns)
-                self._send_notify(port, worker.worker_id, "cancelled", request)
+                thread.busy_ns += notify_tx_ns
+                yield timeout(notify_tx_ns)
+                self._send_notify(port, worker_id, "cancelled", request)
             else:
                 # Preempted: the request travels back to the dispatcher
                 # inside the notification (§3.4.5).
-                yield thread.execute(costs.notify_tx_ns)
-                self._send_notify(port, worker.worker_id, "preempted", request)
+                thread.busy_ns += notify_tx_ns
+                yield timeout(notify_tx_ns)
+                self._send_notify(port, worker_id, "preempted", request)
 
     def _send_response(self, port, request: Request) -> None:
-        packet = make_udp_packet(
-            src_mac=port.mac, dst_mac=self.client_mac,
-            src_ip=port.ip, dst_ip=self.client_ip,
-            src_port=SERVICE_PORT, dst_port=request.src_port,
+        eth, ip = self._response_headers[port]
+        packet = Packet(
+            eth=eth, ip=ip,
+            udp=UdpHeader(src_port=SERVICE_PORT, dst_port=request.src_port),
             payload=ResponsePayload(request=request),
             payload_bytes=request.size_bytes)
         port.transmit(packet)
 
     def _send_notify(self, port, worker_id: int, outcome: str,
                      request: Request) -> None:
-        packet = make_udp_packet(
-            src_mac=port.mac, dst_mac=self.notify_port.mac,
-            src_ip=port.ip, dst_ip=self.notify_port.ip,
-            src_port=SERVICE_PORT, dst_port=SERVICE_PORT,
+        eth, ip, udp = self._notify_headers[port]
+        packet = Packet(
+            eth=eth, ip=ip, udp=udp,
             payload=NotifyPayload(request=request, worker_id=worker_id,
                                   outcome=outcome),
             payload_bytes=32)

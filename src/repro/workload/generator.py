@@ -114,19 +114,28 @@ class OpenLoopLoadGenerator:
         arrival_rng = self.rngs.stream("arrivals")
         service_rng = self.rngs.stream("service")
         flow_rng = self.rngs.stream("flows")
+        sim = self.sim
+        timeout = sim.timeout
+        next_gap_ns = self.arrivals.next_gap_ns
+        make_request = self.app.make_request
+        pick = self.clients.pick
+        record_arrival = self.metrics.record_arrival
+        ingress = self.ingress
+        horizon_ns = self.horizon_ns
+        request_bytes = self.request_bytes
         while True:
-            gap = self.arrivals.next_gap_ns(arrival_rng)
-            if self.sim.now + gap > self.horizon_ns:
+            gap = next_gap_ns(arrival_rng)
+            if sim._now + gap > horizon_ns:
                 return
-            yield self.sim.timeout(gap)
-            request = self.app.make_request(service_rng, self.sim.now)
-            src_ip, src_port = self.clients.pick(flow_rng)
+            yield timeout(gap)
+            request = make_request(service_rng, sim._now)
+            src_ip, src_port = pick(flow_rng)
             request.src_ip = src_ip
             request.src_port = src_port
-            request.size_bytes = self.request_bytes
+            request.size_bytes = request_bytes
             self.generated += 1
-            self.metrics.record_arrival(request)
-            self.ingress(request)
+            record_arrival(request)
+            ingress(request)
 
     def __repr__(self) -> str:
         return (f"<OpenLoopLoadGenerator {self.arrivals!r} "
