@@ -277,7 +277,7 @@ class SanitizedSimulator(Simulator):
             draws=self._rngs.draw_counts() if self._rngs else {},
             tracked=len(self._tracked_requests),
             queues_watched=len(self._watched_queues),
-            drained=not self._heap,
+            drained=self.pending_count() == 0,
         )
         for request in self._tracked_requests:
             if request.state is RequestState.COMPLETED:

@@ -24,6 +24,20 @@ from repro.bench.recorder import COMPARABLE_ENV_KEYS
 #: Fractional events/sec drop that flags a regression by default.
 DEFAULT_THRESHOLD = 0.2
 
+#: Host fingerprint keys: mismatches never block a verdict (the work
+#: is identical), but they are surfaced as a caveat because wall-clock
+#: ratios across hosts or interpreters are weak evidence.
+HOST_ENV_KEYS = ("python", "implementation", "platform", "machine",
+                 "cpu_count")
+
+
+def _env(record: Dict[str, Any], key: str) -> Any:
+    """An env key, with legacy defaults for pre-schema records."""
+    env = record.get("environment", {})
+    if key == "fastpath":
+        return env.get(key, "off")
+    return env.get(key)
+
 
 @dataclass
 class BenchComparison:
@@ -42,6 +56,20 @@ class BenchComparison:
     #: Metrics digests differ between comparable runs.
     drift: bool
     threshold: float = DEFAULT_THRESHOLD
+    #: Host fingerprint keys that differ (verdict stands, with caveat).
+    host_differences: Dict[str, Any] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.host_differences is None:
+            self.host_differences = {}
+
+    @property
+    def fastpath_only(self) -> bool:
+        """True when the records differ only by fast-path mode (and
+        the work counters that necessarily follow from it)."""
+        knob_diffs = {key for key in self.differences
+                      if key in COMPARABLE_ENV_KEYS}
+        return knob_diffs == {"fastpath"}
 
     @property
     def regression(self) -> bool:
@@ -58,14 +86,22 @@ def _comparability(baseline: Dict[str, Any],
                    current: Dict[str, Any]) -> Dict[str, Any]:
     """Keys whose mismatch makes two records incomparable."""
     differences: Dict[str, Any] = {}
-    base_env = baseline.get("environment", {})
-    cur_env = current.get("environment", {})
     for key in COMPARABLE_ENV_KEYS:
-        if base_env.get(key) != cur_env.get(key):
-            differences[key] = (base_env.get(key), cur_env.get(key))
+        if _env(baseline, key) != _env(current, key):
+            differences[key] = (_env(baseline, key), _env(current, key))
     for key in ("points", "events"):
         if baseline.get(key) != current.get(key):
             differences[key] = (baseline.get(key), current.get(key))
+    return differences
+
+
+def _host_differences(baseline: Dict[str, Any],
+                      current: Dict[str, Any]) -> Dict[str, Any]:
+    """Host fingerprint mismatches (caveat, not a comparability bar)."""
+    differences: Dict[str, Any] = {}
+    for key in HOST_ENV_KEYS:
+        if _env(baseline, key) != _env(current, key):
+            differences[key] = (_env(baseline, key), _env(current, key))
     return differences
 
 
@@ -93,19 +129,29 @@ def compare_records(baseline: Dict[str, Any], current: Dict[str, Any],
         differences=differences,
         drift=drift,
         threshold=threshold,
+        host_differences=_host_differences(baseline, current),
     )
 
 
 def compare_last(artifact: Dict[str, Any],
                  threshold: float = DEFAULT_THRESHOLD,
                  ) -> Optional[BenchComparison]:
-    """Compare the artifact's newest run to the one before it.
+    """Compare the artifact's newest run against its best baseline.
 
-    Returns None when the trajectory has fewer than two runs.
+    Scans backward for the most recent *comparable* predecessor (same
+    knobs and work), so a one-off smoke run at different settings no
+    longer silently eats the comparison.  When no comparable run
+    exists, falls back to the immediate predecessor and reports which
+    knobs differ.  Returns None when the trajectory has fewer than two
+    runs.
     """
     runs = artifact.get("runs", [])
     if len(runs) < 2:
         return None
+    current = runs[-1]
+    for candidate in reversed(runs[:-1]):
+        if not _comparability(candidate, current):
+            return compare_records(candidate, current, threshold=threshold)
     return compare_records(runs[-2], runs[-1], threshold=threshold)
 
 
@@ -127,11 +173,24 @@ def render_comparison(comparison: BenchComparison) -> str:
     lines.append(
         f"  wall        {base.get('wall_s', 0.0):>12,.2f} -> "
         f"{cur.get('wall_s', 0.0):>12,.2f}  seconds")
+    if comparison.host_differences:
+        diffs = ", ".join(f"{key}: {was!r} -> {now!r}"
+                          for key, (was, now)
+                          in sorted(comparison.host_differences.items()))
+        lines.append(f"  caveat: host fingerprint changed ({diffs}); "
+                     "wall-clock ratios are weak evidence")
     if not comparison.comparable:
         diffs = ", ".join(f"{key}: {was!r} -> {now!r}"
                           for key, (was, now)
                           in sorted(comparison.differences.items()))
         lines.append(f"  not comparable ({diffs}); no verdict")
+        if comparison.fastpath_only:
+            lines.append(
+                f"  fast-path mode differs "
+                f"({_env(base, 'fastpath')} -> {_env(cur, 'fastpath')}): "
+                f"points/sec ratio {comparison.points_speedup:.2f}x "
+                "(informational — approximate points do less simulated "
+                "work)")
         return "\n".join(lines)
     if comparison.drift:
         lines.append(

@@ -51,7 +51,8 @@ TIMING_FIELDS = ("recorded_at", "wall_s", "events_per_sec",
 
 #: Environment keys that must match for two records to be comparable
 #: (same simulated work, so events/sec ratios are meaningful).
-COMPARABLE_ENV_KEYS = ("scale", "seed", "jobs", "sanitize", "cached")
+COMPARABLE_ENV_KEYS = ("scale", "seed", "jobs", "sanitize", "cached",
+                       "fastpath")
 
 
 def artifact_filename(name: str) -> str:
@@ -87,12 +88,20 @@ class BenchOptions:
     seed: int = 42
     jobs: int = 1
     cache_dir: Optional[str] = None
+    #: Calibrated fast-path mode ("off", "auto", "force"); part of the
+    #: comparability fingerprint because approx points do less
+    #: simulated work than exact ones.
+    fastpath: str = "off"
 
     def __post_init__(self):
         if self.scale <= 0:
             raise ExperimentError(f"scale must be positive: {self.scale}")
         if self.jobs < 1:
             raise ExperimentError(f"jobs must be >= 1: {self.jobs}")
+        from repro.experiments.fastpath import MODES
+        if self.fastpath not in MODES:
+            raise ExperimentError(
+                f"fastpath must be one of {MODES}: {self.fastpath!r}")
 
 
 @dataclass
@@ -126,6 +135,7 @@ def capture_environment(options: BenchOptions) -> Dict[str, Any]:
         "cached": options.cache_dir is not None,
         "scale": options.scale,
         "seed": options.seed,
+        "fastpath": options.fastpath,
     }
 
 

@@ -45,24 +45,41 @@ class BenchSuite:
     run: Callable[[BenchOptions], SuiteResult]
 
 
+def _provenance_counts(all_metrics) -> Dict[str, int]:
+    """How many points each provenance kind/method produced."""
+    counts: Dict[str, int] = {}
+    for metrics in all_metrics:
+        prov = metrics.provenance
+        key = "exact" if prov is None or prov.exact else prov.method
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
 def _run_fig2(options: BenchOptions) -> SuiteResult:
     from repro.experiments.executor import make_executor
+    from repro.experiments.fastpath import parse_fastpath_mode
     from repro.experiments.figures import figure2
     from repro.experiments.harness import RunConfig
     executor = make_executor(jobs=options.jobs, cache_dir=options.cache_dir)
-    figure = figure2(config=RunConfig(seed=options.seed),
-                     scale=options.scale, executor=executor)
+    config = RunConfig(seed=options.seed,
+                       fastpath=parse_fastpath_mode(options.fastpath))
+    figure = figure2(config=config, scale=options.scale, executor=executor)
     all_metrics = [point.metrics for sweep in figure.sweeps
                    for point in sweep.points]
     stats = executor.stats
     return SuiteResult(
-        points=stats.points_total,
+        # Figure points, not executor submissions: under the fast path
+        # the executor also runs internal anchor probes, which must not
+        # inflate points/sec.
+        points=len(all_metrics),
         events=stats.events_executed,
         metrics_digest=metrics_digest(all_metrics),
         detail={
             "figure": "fig2",
             "series": [sweep.system_name for sweep in figure.sweeps],
             "points_cached": stats.points_cached,
+            "fastpath": options.fastpath,
+            "provenance": _provenance_counts(all_metrics),
         },
         payload=figure,
     )
@@ -76,11 +93,15 @@ def _system_point_suite(names: List[str]) -> Callable[[BenchOptions],
             PointSpec,
             make_executor,
         )
+        from repro.experiments.fastpath import parse_fastpath_mode
         from repro.experiments.harness import RunConfig
         from repro.systems import registry
         from repro.units import us
         from repro.workload.distributions import Fixed
-        config = RunConfig(seed=options.seed).scaled(options.scale)
+        config = RunConfig(
+            seed=options.seed,
+            fastpath=parse_fastpath_mode(options.fastpath),
+        ).scaled(options.scale)
         distribution = Fixed(us(_SYSTEM_POINT_SERVICE_US))
         specs = [PointSpec(
             factory=ConfiguredFactory.by_name(
@@ -92,7 +113,7 @@ def _system_point_suite(names: List[str]) -> Callable[[BenchOptions],
         results = executor.run_points(specs)
         stats = executor.stats
         return SuiteResult(
-            points=stats.points_total,
+            points=len(results),
             events=stats.events_executed,
             metrics_digest=metrics_digest(results),
             detail={
@@ -100,6 +121,8 @@ def _system_point_suite(names: List[str]) -> Callable[[BenchOptions],
                 "rate_rps": _SYSTEM_POINT_RPS,
                 "service_us": _SYSTEM_POINT_SERVICE_US,
                 "points_cached": stats.points_cached,
+                "fastpath": options.fastpath,
+                "provenance": _provenance_counts(results),
             },
             payload=results,
         )

@@ -47,6 +47,7 @@ from repro.experiments.executor import (
     make_executor,
 )
 from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.fastpath import parse_fastpath_mode
 from repro.experiments.harness import RunConfig, run_point
 from repro.faults.plan import parse_fault_spec
 from repro.experiments.report import (
@@ -98,6 +99,12 @@ def _build_parser() -> argparse.ArgumentParser:
             help="run every point on the observation-only sanitizing "
                  "simulator (clock/queue/conservation invariants; "
                  "metrics stay bit-identical)")
+        cmd_parser.add_argument(
+            "--fastpath", choices=("off", "auto", "force"), default="off",
+            help="calibrated fast-path mode: off = every point exact "
+                 "(bit-identical historical behavior), auto = exact at "
+                 "the knee + calibrated model on the plateau, force = "
+                 "model everything; fault runs always force exact")
 
     for fig_id, description in _FIGURE_DESCRIPTIONS.items():
         fig_parser = sub.add_parser(fig_id, help=description)
@@ -193,11 +200,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_figure(fig_id: str, scale: float, seed: int,
-                executor: Optional[SweepExecutor] = None) -> None:
+                executor: Optional[SweepExecutor] = None,
+                fastpath: str = "off") -> None:
     # The one sanctioned wall-clock site: operator-facing elapsed-time
     # reporting, which never feeds simulated state or cached results.
     start = time.perf_counter()  # repro: allow[wall-clock]
-    figure = ALL_FIGURES[fig_id](config=RunConfig(seed=seed), scale=scale,
+    config = RunConfig(seed=seed, fastpath=parse_fastpath_mode(fastpath))
+    figure = ALL_FIGURES[fig_id](config=config, scale=scale,
                                  executor=executor)
     print(render_figure(figure))
     if executor is not None:
@@ -220,7 +229,9 @@ def _cmd_systems() -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     """Run one (system, rate) point by registry name and report it."""
     factory = ConfiguredFactory.by_name(args.system)
-    config = RunConfig(seed=args.seed).scaled(args.scale)
+    config = RunConfig(
+        seed=args.seed,
+        fastpath=parse_fastpath_mode(args.fastpath)).scaled(args.scale)
     if getattr(args, "faults", None):
         config = replace(config, faults=parse_fault_spec(args.faults))
     distribution = Fixed(us(args.service_us))
@@ -248,6 +259,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"p99.9 {latency.p999_ns / 1e3:.2f}us")
     print(f"  preemptions {metrics.preemptions}  "
           f"worker wait {metrics.worker_wait_fraction:.1%}")
+    if metrics.provenance is not None:
+        print(f"  provenance  {metrics.provenance}")
     if metrics.faults is not None:
         faults = metrics.faults
         print(f"  faults      link drops {faults.link_drops} "
@@ -295,7 +308,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     get_suite(args.suite)  # fail fast on unknown suites
     _apply_sanitize_flag(args)
     options = BenchOptions(scale=args.scale, seed=args.seed,
-                           jobs=args.jobs, cache_dir=args.cache_dir)
+                           jobs=args.jobs, cache_dir=args.cache_dir,
+                           fastpath=args.fastpath)
     run = record_suite(args.suite, options, artifact_dir=args.artifact_dir)
     record = run.record
     print(f"bench {record.name}: {record.points} points, "
@@ -428,7 +442,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         _apply_sanitize_flag(args)
         for fig_id in _FIGURE_DESCRIPTIONS:
-            _run_figure(fig_id, args.scale, args.seed, executor)
+            _run_figure(fig_id, args.scale, args.seed, executor,
+                        fastpath=args.fastpath)
             print()
         print(render_t1(table_t1(RunConfig(seed=args.seed))))
         return 0
@@ -439,7 +454,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"repro: {exc}", file=sys.stderr)
             return 2
         _apply_sanitize_flag(args)
-        _run_figure(args.command, args.scale, args.seed, executor)
+        _run_figure(args.command, args.scale, args.seed, executor,
+                    fastpath=args.fastpath)
         return 0
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises

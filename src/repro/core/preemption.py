@@ -75,6 +75,11 @@ class PreemptionDriver:
         self.deliver = deliver
         self._generation = 0
         self._armed = False
+        #: Handle on the pending expiry event so cancel() can withdraw
+        #: it from the schedule instead of letting it pop as a no-op.
+        self._expiry: Optional["Timeout"] = None
+        # Prebound once: arm() runs per dispatched request.
+        self._expire_cb = self._expire
         #: Interrupts actually sent toward the worker.
         self.fired = 0
         #: Expiries cancelled before firing (request finished in time).
@@ -140,15 +145,26 @@ class PreemptionDriver:
         self._generation += 1
         self._armed = True
         assert self._slice_ns is not None
-        self.sim.defer(self._slice_ns, self._expire, self._generation, cause)
+        # A pooled timeout instead of defer(): identical scheduling
+        # arithmetic, priority, and sequence-number consumption (see
+        # Simulator.defer's contract), but the handle lets cancel()
+        # withdraw the expiry eagerly.  The per-arm (generation, cause)
+        # pair rides in the event's value so a stale expiry racing a
+        # re-arm still sees the state it was armed with.
+        expiry = self.sim.timeout(self._slice_ns,
+                                  value=(self._generation, cause))
+        expiry.callbacks.append(self._expire_cb)
+        self._expiry = expiry
         cost = self._arm_cost_ns
         thread = self.thread
         thread.busy_ns += cost
         return self.sim.timeout(cost)
 
-    def _expire(self, generation: int, cause: Any) -> None:
+    def _expire(self, event: "Timeout") -> None:
+        generation, cause = event._value
         if generation != self._generation:
             return  # cancelled or re-armed before expiry
+        self._expiry = None
         self._armed = False
         self.fired += 1
         self._send(cause)
@@ -159,6 +175,9 @@ class PreemptionDriver:
             self._generation += 1
             self._armed = False
             self.cancelled += 1
+            expiry, self._expiry = self._expiry, None
+            if expiry is not None:
+                expiry.cancel()
 
     @property
     def armed(self) -> bool:

@@ -52,6 +52,7 @@ from repro.experiments.harness import (
 from repro.metrics.summary import (
     FaultSummary,
     LatencySummary,
+    Provenance,
     RunMetrics,
     ThroughputSummary,
 )
@@ -62,7 +63,10 @@ from repro.workload.distributions import ServiceTimeDistribution
 #: old entries then simply miss instead of deserializing wrongly.
 #: Schema 2: fault plans join the key payload and fault summaries the
 #: stored metrics.
-CACHE_SCHEMA = 2
+#: Schema 3: the fast-path config joins the key payload (approximate
+#: and exact results must never share an entry) and provenance tags
+#: join the stored metrics.
+CACHE_SCHEMA = 3
 
 
 # ---------------------------------------------------------------------------
@@ -180,8 +184,9 @@ def spec_cache_key(spec: PointSpec) -> Optional[str]:
             "horizon_ns": float(config.horizon_ns).hex(),
             "warmup_ns": float(config.warmup_ns).hex(),
             "max_events": config.max_events,
-            # Frozen-dataclass repr: deterministic, value-complete.
+            # Frozen-dataclass reprs: deterministic, value-complete.
             "faults": repr(config.faults),
+            "fastpath": repr(config.fastpath),
         },
     }, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -205,6 +210,10 @@ def metrics_to_jsonable(metrics: RunMetrics) -> Dict[str, Any]:
         # Emitted only for faulted runs, so fault-free entries keep
         # their historical shape byte for byte.
         data["faults"] = dataclasses.asdict(metrics.faults)
+    if metrics.provenance is not None:
+        # Same pattern: only fast-path points carry the tag, so plain
+        # exact runs serialize exactly as they always have.
+        data["provenance"] = dataclasses.asdict(metrics.provenance)
     return data
 
 
@@ -215,6 +224,8 @@ def metrics_from_jsonable(data: Dict[str, Any]) -> RunMetrics:
                else LatencySummary(**data["latency"]))
     faults = (FaultSummary(**data["faults"])
               if data.get("faults") is not None else None)
+    provenance = (Provenance(**data["provenance"])
+                  if data.get("provenance") is not None else None)
     return RunMetrics(
         latency=latency,
         throughput=ThroughputSummary(**data["throughput"]),
@@ -222,6 +233,7 @@ def metrics_from_jsonable(data: Dict[str, Any]) -> RunMetrics:
         mean_slowdown=data["mean_slowdown"],
         worker_wait_fraction=data["worker_wait_fraction"],
         faults=faults,
+        provenance=provenance,
     )
 
 

@@ -38,6 +38,7 @@ from repro.workload.generator import ClientPool, OpenLoopLoadGenerator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.executor import SweepExecutor
+    from repro.experiments.fastpath import FastPathConfig
 
 SystemFactory = Callable[[Simulator, RngRegistry, MetricsCollector], BaseSystem]
 
@@ -57,6 +58,11 @@ class RunConfig:
     max_events: Optional[int] = 50_000_000
     #: Fault scenario for this run; None (or a null plan) runs clean.
     faults: Optional[FaultPlan] = None
+    #: Calibrated fast-path mode (see
+    #: :mod:`repro.experiments.fastpath`); None runs every point as a
+    #: full exact simulation — the historical, bit-identical behavior.
+    #: Ignored (forced exact) whenever a real fault plan is present.
+    fastpath: Optional["FastPathConfig"] = None
 
     def __post_init__(self):
         if self.horizon_ns <= self.warmup_ns:
@@ -149,6 +155,16 @@ def run_point_with_events(factory: SystemFactory, rate_rps: float,
         config = RunConfig()
     if rate_rps <= 0:
         raise ExperimentError(f"rate must be positive: {rate_rps}")
+    if config.fastpath is not None:
+        plan = config.faults
+        if plan is None or plan.is_null:
+            from repro.experiments.fastpath import run_point_fastpath
+            return run_point_fastpath(factory, rate_rps, distribution,
+                                      config, clients, sanitize)
+        # Fault-injected runs always force the exact engine: recovery
+        # dynamics have no fluid model, and chaos results must never be
+        # extrapolations.
+        config = replace(config, fastpath=None)
     if sanitize is None:
         sanitize = sanitize_enabled()
     if sanitize:
@@ -199,6 +215,13 @@ def _run_batch(factory: SystemFactory, rates_rps: Sequence[float],
                system_name: str,
                executor: Optional["SweepExecutor"]) -> List[RunMetrics]:
     """One metrics list for *rates_rps*, via *executor* when given."""
+    if config.fastpath is not None and len(rates_rps) > 1:
+        plan = config.faults
+        if plan is None or plan.is_null:
+            from repro.experiments.fastpath import run_batch_fastpath
+            return run_batch_fastpath(factory, rates_rps, distribution,
+                                      config, system_name, executor)
+        config = replace(config, fastpath=None)
     if executor is None:
         return [run_point(factory, rate, distribution, config)
                 for rate in rates_rps]

@@ -139,7 +139,11 @@ class ApicTimer:
         if self._armed_event is None:
             return
         self._generation += 1
-        self._armed_event = None
+        armed, self._armed_event = self._armed_event, None
+        # Withdraw the schedule entry too: the generation guard already
+        # made the callback a no-op, but an eager cancel keeps dead
+        # expiries from riding the queue to their deadline.
+        armed.cancel()
         self.cancel_count += 1
 
     def __repr__(self) -> str:

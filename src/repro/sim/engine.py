@@ -1,16 +1,27 @@
 """The discrete-event simulation loop.
 
-:class:`Simulator` owns the clock and a binary heap of triggered events.
-Time is in nanoseconds (see :mod:`repro.units`).  Events scheduled for
-the same instant are processed in FIFO order of scheduling (a strictly
-increasing sequence number breaks ties), which makes runs fully
-deterministic for a fixed seed.
+:class:`Simulator` owns the clock and a two-tier schedule: a small
+*near* binary heap for the currently-draining time window plus a
+hierarchical :class:`~repro.sim.wheel.TimerWheel` for everything beyond
+it.  Time is in nanoseconds (see :mod:`repro.units`).  Events scheduled
+for the same instant are processed in FIFO order of scheduling (a
+strictly increasing sequence number breaks ties), which makes runs
+fully deterministic for a fixed seed.
 
 Hot-path design
 ---------------
 A fig2-scale sweep dispatches millions of events, so the kernel keeps
 its constant factors small without ever changing *what* is scheduled:
 
+- The schedule is split at ``_near_end``: entries below the boundary
+  ride the near heap (identical semantics to the old single-heap
+  kernel), entries at/after it are O(1) bucket appends on the wheel.
+  Batches drain whole slot windows at a time, so heap sifts act on
+  tens of entries instead of the full pending set.  The boundary split
+  cannot reorder anything: equal timestamps never straddle it, so the
+  merged pop order is exactly the single-heap (time, priority, seq)
+  total order — pinned by the golden differential tests and the
+  wheel-vs-heap property suite.
 - :meth:`Simulator.run` inlines the dispatch loop (no per-event
   :meth:`step` call) whenever ``step`` has not been overridden;
   instrumented subclasses such as the sanitizer's automatically get the
@@ -23,11 +34,17 @@ its constant factors small without ever changing *what* is scheduled:
   conditions) are never pooled.
 - :meth:`defer` / :meth:`defer_at` schedule a bare callback through a
   pooled :class:`_Deferred` cell instead of a Timeout-plus-lambda pair;
-  they consume exactly one sequence number and one heap push, just like
-  :meth:`call_in` / :meth:`call_at`, so swapping one for the other
+  they consume exactly one sequence number and one schedule push, just
+  like :meth:`call_in` / :meth:`call_at`, so swapping one for the other
   cannot reorder a run.
+- Cancelled events (:meth:`Event.cancel`) are eagerly removed from
+  wheel buckets; entries already in the near heap or the far-future
+  overflow heap are skipped at dispatch — without advancing the event
+  count — and compacted away once they dominate, so cancel-heavy
+  workloads (timeout/retry fault plans, preemption slices) cannot grow
+  the queue.
 
-None of this changes the number or order of heap pushes — the
+None of this changes the number or order of schedule pushes — the
 determinism contract is pinned by the golden differential tests.
 """
 
@@ -35,13 +52,14 @@ from __future__ import annotations
 
 import gc
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from sys import getrefcount
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, Iterator, Optional
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.sim.wheel import GRANULARITY, TimerWheel
 
 #: Priority levels: lower runs first among simultaneous events.
 URGENT = 0
@@ -50,6 +68,10 @@ NORMAL = 1
 #: Freelist bound per pool: big enough to absorb steady-state churn,
 #: small enough that an idle simulator holds no meaningful memory.
 _POOL_CAP = 4096
+
+#: Near-heap compaction threshold for lazily-cancelled entries (same
+#: heuristic as the wheel's overflow compaction).
+_COMPACT_MIN = 64
 
 
 class _Deferred:
@@ -87,13 +109,19 @@ class Simulator:
     5.0
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_event_count", "_running",
-                 "fault_injector", "_timeout_pool", "_event_pool",
-                 "_deferred_pool")
+    __slots__ = ("_now", "_heap", "_near_end", "_wheel", "_seq",
+                 "_event_count", "_running", "fault_injector",
+                 "_timeout_pool", "_event_pool", "_deferred_pool",
+                 "_near_cancelled")
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._heap: list = []
+        self._wheel = TimerWheel(self._now)
+        #: Entries with ``when < _near_end`` go to the near heap; the
+        #: rest to the wheel.  Always equals ``wheel.cur0 *
+        #: GRANULARITY`` between batch refills.
+        self._near_end = self._wheel.near_end
         self._seq = 0
         self._event_count = 0
         self._running = False
@@ -106,6 +134,8 @@ class Simulator:
         self._timeout_pool: list = []
         self._event_pool: list = []
         self._deferred_pool: list = []
+        #: Lazily-cancelled entries believed to ride the near heap.
+        self._near_cancelled = 0
 
     # -- clock ---------------------------------------------------------------
 
@@ -147,7 +177,12 @@ class Simulator:
             ev.label = label
             ev.delay = delay
             self._seq = seq = self._seq + 1
-            heappush(self._heap, (self._now + delay, NORMAL, seq, ev))
+            when = self._now + delay
+            ev.when = when
+            if when < self._near_end:
+                heappush(self._heap, (when, NORMAL, seq, ev))
+            else:
+                self._wheel.push((when, NORMAL, seq, ev))
             return ev
         return Timeout(self, delay, value=value, label=label)
 
@@ -205,7 +240,11 @@ class Simulator:
         else:
             cell = _Deferred(func, args)
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (self._now + delay, NORMAL, seq, cell))
+        when = self._now + delay
+        if when < self._near_end:
+            heappush(self._heap, (when, NORMAL, seq, cell))
+        else:
+            self._wheel.push((when, NORMAL, seq, cell))
 
     def defer_at(self, when: float, func: Callable[..., None], *args) -> None:
         """Run ``func(*args)`` at absolute time *when*; fire-and-forget.
@@ -227,31 +266,111 @@ class Simulator:
         if delay < 0:
             raise SchedulingError(f"negative delay: {delay}")
         self._seq += 1
-        heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        when = self._now + delay
+        if when < self._near_end:
+            heappush(self._heap, (when, priority, self._seq, event))
+        else:
+            self._wheel.push((when, priority, self._seq, event))
+
+    def _refill(self) -> bool:
+        """Move the next wheel batch into the (empty) near heap.
+
+        Returns False when the wheel is drained too.  Mutates the heap
+        list in place so aliases held by hot loops stay valid.
+        """
+        batch = self._wheel.next_batch()
+        if batch is None:
+            return False
+        entries, end = batch
+        self._near_end = end
+        heap = self._heap
+        heap[:] = entries
+        if len(entries) > 1:
+            heapify(heap)
+        return True
+
+    def _cancel(self, event: Event) -> None:
+        """Withdraw *event*'s schedule entry (hook for Event.cancel).
+
+        Timeouts record their absolute deadline, so wheel residents are
+        removed eagerly in O(bucket).  Entries already in the near heap
+        (or events without a recorded deadline) are skipped at dispatch
+        and compacted away once they dominate the heap.
+        """
+        when = getattr(event, "when", None)
+        if when is not None and self._wheel.discard(event, when):
+            return
+        self._near_cancelled = dead = self._near_cancelled + 1
+        if dead > _COMPACT_MIN and dead * 2 > len(self._heap):
+            self._compact_near()
+
+    def _compact_near(self) -> None:
+        """Drop cancelled entries from the near heap in one pass."""
+        heap = self._heap
+        live = [entry for entry in heap
+                if type(entry[3]) is _Deferred or entry[3]._state != 3]
+        if len(live) != len(heap):
+            heap[:] = live
+            heapify(heap)
+        self._near_cancelled = 0
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` when idle."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next scheduled event, or ``inf`` when idle.
+
+        A lazily-cancelled entry still waiting to be skipped may be
+        reported; nothing will actually happen at that instant.
+        """
+        heap = self._heap
+        if heap:
+            return heap[0][0]
+        return self._wheel.peek_when()
+
+    def pending_count(self) -> int:
+        """Entries still in the schedule (near heap + wheel).
+
+        Includes lazily-cancelled stragglers not yet compacted away.
+        """
+        return len(self._heap) + self._wheel.count
+
+    def pending_entries(self) -> Iterator[tuple]:
+        """All pending schedule tuples, in no particular order
+        (diagnostics and tests)."""
+        yield from self._heap
+        yield from self._wheel.entries()
 
     def step(self) -> None:
-        """Process exactly one event (advancing the clock to it)."""
-        if not self._heap:
-            raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, event = heappop(self._heap)
-        self._now = when
-        self._event_count += 1
-        if type(event) is _Deferred:
-            func, args = event.func, event.args
-            event.func = event.args = None
-            pool = self._deferred_pool
-            if len(pool) < _POOL_CAP:
-                pool.append(event)
-            func(*args)
+        """Process exactly one event (advancing the clock to it).
+
+        Cancelled entries encountered on the way vanish silently — they
+        do not advance the clock, count as events, or satisfy the step.
+        """
+        heap = self._heap
+        while True:
+            if not heap and not self._refill():
+                raise SimulationError("step() on an empty schedule")
+            when, _prio, _seq, event = heappop(heap)
+            if type(event) is _Deferred:
+                self._now = when
+                self._event_count += 1
+                func, args = event.func, event.args
+                event.func = event.args = None
+                pool = self._deferred_pool
+                if len(pool) < _POOL_CAP:
+                    pool.append(event)
+                func(*args)
+                return
+            if event._state == 3:  # cancelled: drop and keep looking
+                dead = self._near_cancelled
+                if dead > 0:
+                    self._near_cancelled = dead - 1
+                continue
+            self._now = when
+            self._event_count += 1
+            callbacks, event.callbacks = event.callbacks, None
+            event._mark_processed()
+            for callback in callbacks:
+                callback(event)
             return
-        callbacks, event.callbacks = event.callbacks, None
-        event._mark_processed()
-        for callback in callbacks:
-            callback(event)
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
@@ -287,6 +406,7 @@ class Simulator:
             gc.disable()
         heap = self._heap
         pop = heappop
+        refill = self._refill
         timeout_pool = self._timeout_pool
         event_pool = self._event_pool
         deferred_pool = self._deferred_pool
@@ -296,51 +416,62 @@ class Simulator:
         count = self._event_count
         limit = float("inf") if max_events is None else count + max_events
         try:
-            while heap:
-                if heap[0][0] > horizon:
-                    self._now = until
-                    return
-                when, _prio, _seq, event = pop(heap)
-                self._now = when
-                count += 1
-                cls = event.__class__
-                if cls is Timeout:
-                    callbacks, event.callbacks = event.callbacks, None
-                    event._state = 2
-                    for callback in callbacks:
-                        callback(event)
-                    # Recycle only exact-class events the kernel holds the
-                    # last reference to (local + getrefcount argument = 2):
-                    # anything user code kept a handle on stays untouched.
-                    # The detached callbacks list rides along (cleared), so
-                    # pooled events always carry an empty list ready to use.
-                    if getrefcount(event) == 2 and \
-                            len(timeout_pool) < _POOL_CAP:
-                        del callbacks[:]
-                        event.callbacks = callbacks
-                        event._value = None
-                        timeout_pool.append(event)
-                elif cls is _Deferred:
-                    func, args = event.func, event.args
-                    event.func = event.args = None
-                    if len(deferred_pool) < _POOL_CAP:
-                        deferred_pool.append(event)
-                    func(*args)
-                else:
-                    callbacks, event.callbacks = event.callbacks, None
-                    event._state = 2
-                    for callback in callbacks:
-                        callback(event)
-                    if cls is Event:
+            while True:
+                while heap:
+                    if heap[0][0] > horizon:
+                        self._now = until
+                        return
+                    when, _prio, _seq, event = pop(heap)
+                    cls = event.__class__
+                    if cls is Timeout:
+                        if event._state == 3:  # cancelled: vanish
+                            continue
+                        self._now = when
+                        count += 1
+                        callbacks, event.callbacks = event.callbacks, None
+                        event._state = 2
+                        for callback in callbacks:
+                            callback(event)
+                        # Recycle only exact-class events the kernel holds the
+                        # last reference to (local + getrefcount argument = 2):
+                        # anything user code kept a handle on stays untouched.
+                        # The detached callbacks list rides along (cleared), so
+                        # pooled events always carry an empty list ready to use.
                         if getrefcount(event) == 2 and \
-                                len(event_pool) < _POOL_CAP:
+                                len(timeout_pool) < _POOL_CAP:
                             del callbacks[:]
                             event.callbacks = callbacks
                             event._value = None
-                            event_pool.append(event)
-                if count > limit:
-                    raise SimulationError(
-                        f"run() exceeded max_events={max_events}")
+                            timeout_pool.append(event)
+                    elif cls is _Deferred:
+                        self._now = when
+                        count += 1
+                        func, args = event.func, event.args
+                        event.func = event.args = None
+                        if len(deferred_pool) < _POOL_CAP:
+                            deferred_pool.append(event)
+                        func(*args)
+                    else:
+                        if event._state == 3:  # cancelled: vanish
+                            continue
+                        self._now = when
+                        count += 1
+                        callbacks, event.callbacks = event.callbacks, None
+                        event._state = 2
+                        for callback in callbacks:
+                            callback(event)
+                        if cls is Event:
+                            if getrefcount(event) == 2 and \
+                                    len(event_pool) < _POOL_CAP:
+                                del callbacks[:]
+                                event.callbacks = callbacks
+                                event._value = None
+                                event_pool.append(event)
+                    if count > limit:
+                        raise SimulationError(
+                            f"run() exceeded max_events={max_events}")
+                if not refill():
+                    break
             if until is not None:
                 self._now = until
         finally:
@@ -354,9 +485,31 @@ class Simulator:
         """The legacy one-step()-per-event loop, for overridden step()."""
         self._running = True
         processed = 0
+        heap = self._heap
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
+            while True:
+                # Clear cancelled entries off the head so the horizon
+                # check below sees the next *live* event (step() would
+                # otherwise skip past the horizon inside one call).
+                head = None
+                while True:
+                    if not heap:
+                        if not self._refill():
+                            break
+                        continue
+                    head = heap[0]
+                    event = head[3]
+                    if type(event) is not _Deferred and event._state == 3:
+                        heappop(heap)
+                        dead = self._near_cancelled
+                        if dead > 0:
+                            self._near_cancelled = dead - 1
+                        head = None
+                        continue
+                    break
+                if head is None:
+                    break  # schedule drained
+                if until is not None and head[0] > until:
                     self._now = until
                     return
                 self.step()
@@ -378,7 +531,7 @@ class Simulator:
         """
         processed = 0
         while not event.processed:
-            if not self._heap:
+            if not self._heap and not self._refill():
                 raise SimulationError(
                     f"schedule drained before {event!r} was processed")
             self.step()
@@ -404,5 +557,6 @@ class Simulator:
         self._deferred_pool.clear()
 
     def __repr__(self) -> str:
-        return (f"<Simulator t={self._now:.1f}ns pending={len(self._heap)} "
+        return (f"<Simulator t={self._now:.1f}ns "
+                f"pending={self.pending_count()} "
                 f"processed={self._event_count}>")

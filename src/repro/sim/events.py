@@ -9,12 +9,18 @@ the simulator's schedule; ``PROCESSED`` means its callbacks have run.
 Processes wait on events by ``yield``-ing them; the kernel resumes the
 process with the event's value, or throws the event's exception into it.
 
+A ``TRIGGERED`` event can additionally be withdrawn via
+:meth:`Event.cancel` (state ``CANCELLED``): its entry is removed from
+the schedule — eagerly when it sits in a timer-wheel bucket, lazily
+skipped at dispatch otherwise — and its callbacks never run.
+
 Hot-path note: state lives internally as a small int (``_PENDING`` /
-``_TRIGGERED`` / ``_PROCESSED``) because millions of events flow
-through a sweep and enum identity checks are measurably slower; the
-public :attr:`Event.state` property still answers with the
-:class:`EventState` enum.  Triggering pushes straight onto the owning
-simulator's heap — the schedule tuple layout ``(when, priority, seq,
+``_TRIGGERED`` / ``_PROCESSED`` / ``_CANCELLED``) because millions of
+events flow through a sweep and enum identity checks are measurably
+slower; the public :attr:`Event.state` property still answers with the
+:class:`EventState` enum.  Triggering pushes straight into the owning
+simulator's schedule — near-heap pushes below ``sim._near_end``, wheel
+pushes at/after it; the schedule tuple layout ``(when, priority, seq,
 event)`` is shared with :mod:`repro.sim.engine` and must never diverge
 from it.
 """
@@ -37,12 +43,14 @@ class EventState(enum.Enum):
     PENDING = "pending"
     TRIGGERED = "triggered"
     PROCESSED = "processed"
+    CANCELLED = "cancelled"
 
 
 #: Internal integer states (indices into _STATES); the kernel compares
 #: these directly instead of enum members.
-_PENDING, _TRIGGERED, _PROCESSED = 0, 1, 2
-_STATES = (EventState.PENDING, EventState.TRIGGERED, EventState.PROCESSED)
+_PENDING, _TRIGGERED, _PROCESSED, _CANCELLED = 0, 1, 2, 3
+_STATES = (EventState.PENDING, EventState.TRIGGERED, EventState.PROCESSED,
+           EventState.CANCELLED)
 
 #: Default scheduling priority; mirrors ``engine.NORMAL`` (events.py
 #: cannot import the engine — cycle), pinned by a unit test.
@@ -89,6 +97,11 @@ class Event:
         return self._state == _PROCESSED
 
     @property
+    def cancelled(self) -> bool:
+        """True once the event has been withdrawn via :meth:`cancel`."""
+        return self._state == _CANCELLED
+
+    @property
     def ok(self) -> bool:
         """True if the event succeeded. Only valid once triggered."""
         if self._ok is None:
@@ -115,7 +128,11 @@ class Event:
         self._state = _TRIGGERED
         sim = self.sim
         sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim._now + delay, _NORMAL, seq, self))
+        when = sim._now + delay
+        if when < sim._near_end:
+            heappush(sim._heap, (when, _NORMAL, seq, self))
+        else:
+            sim._wheel.push((when, _NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -131,8 +148,29 @@ class Event:
         self._state = _TRIGGERED
         sim = self.sim
         sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim._now + delay, _NORMAL, seq, self))
+        when = sim._now + delay
+        if when < sim._near_end:
+            heappush(sim._heap, (when, _NORMAL, seq, self))
+        else:
+            sim._wheel.push((when, _NORMAL, seq, self))
         return self
+
+    def cancel(self) -> bool:
+        """Withdraw a triggered-but-unprocessed event from the schedule.
+
+        Returns True when the event was still awaiting dispatch; its
+        callbacks will never run.  Timeouts record their deadline, so
+        wheel-resident entries are removed eagerly; anything else is
+        skipped (uncounted, clock untouched where possible) when its
+        entry surfaces, and compacted away under cancel-heavy load.
+        Pending or already-processed events return False unchanged.
+        A cancelled event is never recycled through the kernel pools.
+        """
+        if self._state != _TRIGGERED:
+            return False
+        self._state = _CANCELLED
+        self.sim._cancel(self)
+        return True
 
     # -- kernel hooks --------------------------------------------------------
 
@@ -153,7 +191,7 @@ class Timeout(Event):
     recycles them through exactly this field layout.
     """
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "when")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None,
                  label: str = ""):
@@ -167,7 +205,13 @@ class Timeout(Event):
         self.label = label
         self.delay = delay
         sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim._now + delay, _NORMAL, seq, self))
+        # The absolute deadline is kept on the event so cancel() can
+        # locate its wheel bucket without a search.
+        self.when = when = sim._now + delay
+        if when < sim._near_end:
+            heappush(sim._heap, (when, _NORMAL, seq, self))
+        else:
+            sim._wheel.push((when, _NORMAL, seq, self))
 
 
 class _Condition(Event):

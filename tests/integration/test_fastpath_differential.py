@@ -1,0 +1,174 @@
+"""Fast-path accuracy envelope, enforced against exact runs.
+
+Every registered system is driven at a deep-plateau operating point
+(2x its measured capacity, full default horizon) twice: once exactly,
+once through the calibrated fast path.  The fast-path prediction must
+land within the envelope its own provenance tag claims — <= 5% on
+achieved throughput, <= 10% on p99 latency — and must carry an
+``approx`` tag naming the plateau model and anchor horizon.
+
+The deep plateau is where the ISSUE's tight envelope is certified;
+shoulder points (just past the knee) are tagged with the wider bound
+they honestly meet, and knee-band points run exactly in ``auto`` mode
+(checked here to be bit-identical to a plain run).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.executor import ConfiguredFactory
+from repro.experiments.fastpath import FastPathConfig, anchor_config
+from repro.experiments.harness import (
+    RunConfig,
+    load_sweep,
+    run_point,
+    run_point_with_events,
+)
+from repro.systems.registry import list_systems
+from repro.workload.distributions import BIMODAL_FIG2
+
+SEED = 42
+#: Way above every registered system's capacity: the probe anchor at
+#: this offered rate measures pure service capacity.
+PROBE_RATE = 5e6
+
+SYSTEM_NAMES = [entry.name for entry in list_systems()]
+
+
+def _fast_config() -> RunConfig:
+    return RunConfig(seed=SEED, fastpath=FastPathConfig(mode="auto"))
+
+
+@pytest.fixture(scope="module")
+def capacities():
+    """Measured capacity per system, from one short saturating anchor."""
+    caps = {}
+    for name in SYSTEM_NAMES:
+        factory = ConfiguredFactory.by_name(name)
+        probe = run_point(factory, PROBE_RATE, BIMODAL_FIG2,
+                          anchor_config(_fast_config()))
+        caps[name] = probe.throughput.achieved_rps
+    return caps
+
+
+class TestDeepPlateauEnvelope:
+    @pytest.mark.parametrize("name", SYSTEM_NAMES)
+    def test_envelope_holds_at_twice_capacity(self, name, capacities):
+        factory = ConfiguredFactory.by_name(name)
+        config = _fast_config()
+        rate = 2.0 * capacities[name]
+        assert rate > 0
+        exact = run_point(factory, rate, BIMODAL_FIG2,
+                          replace(config, fastpath=None))
+        fast, _events = run_point_with_events(
+            factory, rate, BIMODAL_FIG2, config)
+
+        prov = fast.provenance
+        assert prov is not None and not prov.exact
+        assert prov.method == "plateau-drain"
+        assert 0 < prov.anchor_horizon_ns < config.horizon_ns
+        # Deep plateau: the *tight* bounds must be the claimed ones.
+        fp = config.fastpath
+        assert prov.throughput_error_bound == fp.throughput_error_bound
+        assert prov.p99_error_bound == fp.p99_error_bound
+
+        tput_err = abs(fast.throughput.achieved_rps
+                       - exact.throughput.achieved_rps) \
+            / exact.throughput.achieved_rps
+        p99_err = abs(fast.latency.p99_ns - exact.latency.p99_ns) \
+            / exact.latency.p99_ns
+        assert tput_err <= prov.throughput_error_bound, \
+            f"{name}: throughput error {tput_err:.2%} exceeds " \
+            f"{prov.throughput_error_bound:.0%}"
+        assert p99_err <= prov.p99_error_bound, \
+            f"{name}: p99 error {p99_err:.2%} exceeds " \
+            f"{prov.p99_error_bound:.0%}"
+        # Sanity on the other envelope claims: quantiles stay ordered
+        # and counts describe the full window, not the anchor's.
+        lat = fast.latency
+        assert lat.p50_ns <= lat.p90_ns <= lat.p99_ns <= lat.p999_ns \
+            <= lat.max_ns
+        assert fast.throughput.window_ns == pytest.approx(
+            config.horizon_ns - config.warmup_ns)
+
+
+class TestFig2CurveEnvelope:
+    def test_every_approx_point_honors_its_claimed_bounds(self):
+        """The full figure-2 grid, auto vs exact: each approximate
+        point must sit inside the envelope its own provenance claims
+        (tight on the deep plateau, loose on the shoulder, unbounded
+        p99 but bounded throughput below the knee)."""
+        from repro.experiments.figures import figure2
+        auto = figure2(config=_fast_config())
+        exact = figure2(config=RunConfig(seed=SEED))
+        violations = []
+        approx = 0
+        for sweep_a, sweep_e in zip(auto.sweeps, exact.sweeps):
+            for pa, pe in zip(sweep_a.points, sweep_e.points):
+                prov = pa.metrics.provenance
+                assert prov is not None
+                if prov.exact:
+                    assert pa.metrics == replace(
+                        pe.metrics, provenance=prov)
+                    continue
+                approx += 1
+                tput_err = abs(pa.achieved_rps - pe.achieved_rps) \
+                    / pe.achieved_rps
+                p99_err = abs(pa.p99_ns - pe.p99_ns) / pe.p99_ns
+                if tput_err > prov.throughput_error_bound \
+                        or p99_err > prov.p99_error_bound:
+                    violations.append(
+                        f"{sweep_a.system_name}@{pa.offered_rps:.0f}: "
+                        f"tput {tput_err:.2%} (claim "
+                        f"{prov.throughput_error_bound:.0%}), p99 "
+                        f"{p99_err:.2%} (claim {prov.p99_error_bound})")
+        assert approx > 0, "auto mode modelled nothing on fig2"
+        assert not violations, "\n".join(violations)
+
+
+class TestSweepProvenanceAndFallThrough:
+    def test_batch_sweep_tags_every_point(self, capacities):
+        """A mini-sweep spanning sub-knee, knee, and plateau returns
+        points in order with honest provenance on each."""
+        name = "shinjuku"
+        cap = capacities[name]
+        factory = ConfiguredFactory.by_name(name)
+        rates = [0.3 * cap, 0.7 * cap, 1.0 * cap, 1.6 * cap, 2.0 * cap]
+        sweep = load_sweep(factory, rates, BIMODAL_FIG2, _fast_config(),
+                           system_name=name)
+        assert [p.offered_rps for p in sweep.points] == rates
+        fp = FastPathConfig(mode="auto")
+        for point in sweep.points:
+            prov = point.metrics.provenance
+            assert prov is not None, f"untagged point at {point.offered_rps}"
+            u = point.offered_rps / cap
+            if fp.knee_lo <= u <= fp.knee_hi:
+                assert prov.exact
+            else:
+                assert not prov.exact
+                assert prov.method in ("plateau-drain", "subknee-mgk",
+                                       "anchor-scale")
+
+    def test_auto_keeping_up_falls_through_bit_identical(self, capacities):
+        """An auto-mode point whose anchor shows the system keeping up
+        is the plain exact run, with only the provenance tag added."""
+        name = "shinjuku"
+        factory = ConfiguredFactory.by_name(name)
+        config = _fast_config()
+        rate = 0.6 * capacities[name]  # comfortably below the knee
+        plain = run_point(factory, rate, BIMODAL_FIG2,
+                          replace(config, fastpath=None))
+        fast, _events = run_point_with_events(
+            factory, rate, BIMODAL_FIG2, config)
+        assert fast.provenance is not None and fast.provenance.exact
+        assert replace(fast, provenance=None) == plain
+
+    def test_off_leaves_metrics_untagged(self):
+        """fastpath=None is the historical path: no provenance, and
+        the config default is off."""
+        assert RunConfig().fastpath is None
+        factory = ConfiguredFactory.by_name("shinjuku")
+        config = RunConfig(seed=SEED, horizon_ns=2e6, warmup_ns=0.4e6)
+        metrics = run_point(factory, 200e3, BIMODAL_FIG2, config)
+        assert metrics.provenance is None

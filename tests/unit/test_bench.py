@@ -35,6 +35,7 @@ from repro.bench.recorder import (
     validate_artifact,
 )
 from repro.cli import main
+from repro.errors import ExperimentError
 
 #: Small enough for a unit test, large enough to execute real events.
 _OPTIONS = BenchOptions(scale=0.02)
@@ -174,6 +175,90 @@ class TestCompareFlagsSlowdown:
         again = record_suite("engine", _OPTIONS, artifact_dir=tmp_path)
         comparison = compare_last(again.artifact)
         assert comparison is not None and comparison.comparable
+
+
+class TestBaselineSelectionAndFingerprint:
+    def test_compare_last_skips_incomparable_smoke_run(self, recorded):
+        """A one-off smoke run at different knobs between two proper
+        runs must not eat the comparison: the scan walks back to the
+        most recent comparable baseline."""
+        first, second = recorded
+        smoke = first.record.to_jsonable()
+        smoke["environment"] = dict(smoke["environment"], scale=0.5)
+        artifact = {"schema": ARTIFACT_SCHEMA, "name": "engine",
+                    "runs": [first.record.to_jsonable(), smoke,
+                             second.record.to_jsonable()]}
+        comparison = compare_last(artifact)
+        assert comparison is not None and comparison.comparable
+        assert not comparison.drift
+
+    def test_compare_last_reports_knobs_when_nothing_matches(self,
+                                                             recorded):
+        first, second = recorded
+        smoke = first.record.to_jsonable()
+        smoke["environment"] = dict(smoke["environment"], scale=0.5)
+        artifact = {"schema": ARTIFACT_SCHEMA, "name": "engine",
+                    "runs": [smoke, second.record.to_jsonable()]}
+        comparison = compare_last(artifact)
+        assert comparison is not None and not comparison.comparable
+        assert "scale" in comparison.differences
+
+    def test_legacy_record_defaults_fastpath_off(self, recorded):
+        """Pre-fast-path artifacts carry no ``fastpath`` env key; they
+        compare as exact ("off") runs, not as incomparable."""
+        first, _second = recorded
+        legacy = first.record.to_jsonable()
+        legacy["environment"] = {k: v
+                                 for k, v in legacy["environment"].items()
+                                 if k != "fastpath"}
+        comparison = compare_records(legacy, first.record.to_jsonable())
+        assert comparison.comparable
+
+    def test_fastpath_mode_mismatch_is_informational(self, recorded):
+        """Exact vs fast-path runs get no verdict (different simulated
+        work) but the speedup ratio is still surfaced."""
+        first, _second = recorded
+        fast = first.record.to_jsonable()
+        fast["environment"] = dict(fast["environment"], fastpath="auto")
+        fast["events"] = first.record.events // 3
+        fast["points_per_sec"] = first.record.points_per_sec * 6.0
+        comparison = compare_records(first.record.to_jsonable(), fast)
+        assert not comparison.comparable
+        assert comparison.fastpath_only
+        assert not comparison.regression
+        rendered = render_comparison(comparison)
+        assert "informational" in rendered
+        assert "6.00x" in rendered
+
+    def test_host_mismatch_is_caveat_not_bar(self, recorded):
+        first, _second = recorded
+        moved = first.record.to_jsonable()
+        moved["environment"] = dict(moved["environment"],
+                                    python="9.9.9", machine="riscv128")
+        comparison = compare_records(first.record.to_jsonable(), moved)
+        assert comparison.comparable  # same work: verdict stands
+        assert set(comparison.host_differences) == {"python", "machine"}
+        assert "caveat" in render_comparison(comparison)
+
+    def test_invalid_fastpath_option_rejected(self):
+        with pytest.raises(ExperimentError):
+            BenchOptions(fastpath="maybe")
+
+    def test_fig2_fastpath_detail_reports_provenance_mix(self):
+        """A fast-path fig2 bench records its mode and a per-method
+        provenance census covering every figure point."""
+        record, _payload = measure_suite(
+            "fig2", BenchOptions(scale=0.05, fastpath="auto"))
+        assert record.environment["fastpath"] == "auto"
+        assert record.detail["fastpath"] == "auto"
+        counts = record.detail["provenance"]
+        assert sum(counts.values()) == record.points
+        exact_only, _payload = measure_suite(
+            "fig2", BenchOptions(scale=0.05))
+        assert exact_only.detail["provenance"] == {
+            "exact": exact_only.points}
+        # Approximate points must never count as exact work.
+        assert record.events < exact_only.events
 
 
 class TestArtifactIo:

@@ -1,0 +1,80 @@
+"""Cancellation memory-retention regression tests.
+
+The engine removes cancelled Timeouts from the timer wheel eagerly and
+compacts lazily-cancelled near-heap/overflow stragglers once they
+dominate.  Before that fix, a cancel-heavy arm/cancel loop (retry
+timers, watchdogs) grew the schedule without bound: every cancelled
+entry sat in the heap until its original deadline arrived.
+"""
+
+from repro.sim.engine import Simulator, _COMPACT_MIN
+from repro.sim.wheel import GRANULARITY
+
+
+class TestCancelledEntriesAreReclaimed:
+    def test_wheel_resident_cancel_is_eager(self):
+        """A cancelled far-future Timeout leaves the schedule at
+        cancel time, not at its deadline."""
+        sim = Simulator()
+        ev = sim.timeout(10 * GRANULARITY)  # far enough to ride the wheel
+        assert sim.pending_count() == 1
+        assert ev.cancel() is True
+        assert sim.pending_count() == 0
+
+    def test_arm_cancel_loop_keeps_pending_bounded(self):
+        """The retry-timer pattern: arm a guard, cancel it, repeat.
+        Pending entries must stay O(compaction window), not O(loop)."""
+        sim = Simulator()
+        high_water = 0
+        for i in range(20_000):
+            # Cycle through near-heap, L0/L1, and overflow residency.
+            delay = (float(i % 7), 10 * GRANULARITY,
+                     300 * GRANULARITY, 1e12)[i % 4]
+            sim.timeout(delay).cancel()
+            high_water = max(high_water, sim.pending_count())
+        # Near heap and overflow each tolerate up to a compaction
+        # window of dead entries before rebuilding.
+        assert high_water <= 4 * _COMPACT_MIN
+        sim.run()
+        assert sim.pending_count() == 0
+
+    def test_cancelled_timeout_never_fires(self):
+        sim = Simulator()
+        fired = []
+        live = sim.timeout(5.0)
+        live.callbacks.append(lambda _e: fired.append("live"))
+        for delay in (1.0, 5.0, 2 * GRANULARITY, 1e12):
+            dead = sim.timeout(delay)
+            dead.callbacks.append(lambda _e: fired.append("dead"))
+            assert dead.cancel() is True
+        sim.run()
+        assert fired == ["live"]
+        assert sim.now == 5.0  # clock never advanced to dead deadlines
+
+    def test_cancel_interleaved_with_live_work_preserves_order(self):
+        """Heavy cancellation around live timers must not perturb the
+        survivors' fire order or drop any of them."""
+        sim = Simulator()
+        order = []
+        for i in range(50):
+            ev = sim.timeout(float(100 - i))  # reverse creation order
+            ev.callbacks.append(lambda _e, i=i: order.append(i))
+            for _ in range(40):
+                sim.timeout(float(50 + i)).cancel()
+        sim.run()
+        assert order == list(range(49, -1, -1))
+        assert sim.pending_count() == 0
+
+    def test_cancel_after_partial_run(self):
+        """Entries already drained into the near heap are skipped at
+        dispatch when cancelled mid-run."""
+        sim = Simulator()
+        fired = []
+        early = sim.timeout(1.0)
+        later = sim.timeout(2.0)
+        later.callbacks.append(lambda _e: fired.append("later"))
+        early.callbacks.append(lambda _e: later.cancel())
+        tail = sim.timeout(3.0)
+        tail.callbacks.append(lambda _e: fired.append("tail"))
+        sim.run()
+        assert fired == ["tail"]
