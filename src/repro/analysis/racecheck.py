@@ -1,0 +1,219 @@
+"""Static simultaneity analysis: the ``race/*`` lint rule family.
+
+The kernel's determinism contract orders equal-timestamp events by a
+tie-break key (FIFO by default — see :mod:`repro.sim.tiebreak`).  A
+component is *tie-break-sensitive* when its observable behavior depends
+on that order: two handlers reachable at the same instant touching the
+same state, or a waiter woken at +0 ns from a queue that several
+producers feed.  Such code is still deterministic run-to-run, but its
+determinism hangs on an accident of scheduling order rather than on the
+model — the exact hazard the schedule-permutation fuzzer (``repro
+race``) exists to expose dynamically.
+
+This module is the static half.  It queries the interprocedural
+:class:`~repro.analysis.callgraph.ProgramModel` and reports through the
+ordinary lint machinery, so ``# repro: allow[race/...]`` inline
+suppressions and the fingerprint baseline work unchanged.  Because the
+rules need the whole program before any single file can be judged,
+they are **bound** to a prebuilt model via :func:`build_race_rules`;
+an unbound instance (the :data:`RACE_RULES` catalog) yields nothing and
+exists for ``--list-rules`` and severity lookups.
+
+Everything under ``repro/sim/`` is exempt: the kernel *implements* the
+tie-break order and its waiter queues are the sanctioned mechanism.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.callgraph import (
+    DELAY_ZERO,
+    RECV_POPPED,
+    FunctionInfo,
+    ProgramModel,
+    ScheduleSite,
+)
+from repro.analysis.rules import FileContext, Finding, Rule, Severity
+
+
+def _is_kernel_path(path: str) -> bool:
+    """Is *path* inside the event kernel (sanctioned tie handling)?"""
+    normalized = "/" + path.replace("\\", "/")
+    return "/repro/sim/" in normalized or normalized.startswith("/sim/")
+
+
+class RaceRule(Rule):
+    """A lint rule whose findings come from a whole-program scan.
+
+    ``bind(model)`` runs :meth:`_scan` once and caches the findings;
+    ``check`` then replays the ones belonging to the file being linted,
+    so suppression, fingerprints, and baselines behave exactly like any
+    per-file rule.
+    """
+
+    def __init__(self) -> None:
+        self._findings: List[Finding] = []
+
+    def bind(self, model: ProgramModel) -> "RaceRule":
+        """Attach *model* and precompute this rule's findings."""
+        self._findings = sorted(
+            self._scan(model),
+            key=lambda f: (f.path, f.line, f.col))
+        return self
+
+    def check(self, module: ast.Module,
+              ctx: FileContext) -> Iterator[Finding]:
+        """Replay the precomputed findings for ``ctx.path``."""
+        for finding in self._findings:
+            if finding.path == ctx.path:
+                yield finding
+
+    def _scan(self, model: ProgramModel) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def _site_finding(self, model: ProgramModel, site: ScheduleSite,
+                      message: str) -> Finding:
+        lines = model.sources.get(site.path, ())
+        text = ""
+        if 0 < site.line <= len(lines):
+            text = lines[site.line - 1].strip()
+        return Finding(
+            rule_id=self.rule_id, severity=self.severity,
+            message=message, hint=self.hint, path=site.path,
+            line=site.line, col=site.col, source_line=text)
+
+
+class ZeroDelaySharedRule(RaceRule):
+    """Flag zero-delay triggers of waiters drawn from shared queues.
+
+    ``waiter = queue.popleft(); waiter.succeed(...)`` delivers at the
+    *current* instant: when several producers run at the same timestamp,
+    which waiter pairs with which value is decided by the tie-break
+    key.  The site is a hazard, not automatically a bug — symmetric
+    consumers may make every pairing equivalent.  The sanctioned
+    workflow is to acquit the site with the fuzzer (``repro race``
+    digest-invariant across permutations) and then suppress it inline,
+    recording why.
+    """
+
+    rule_id = "race/zero-delay-shared"
+    severity = Severity.WARNING
+    summary = ("zero-delay trigger of a waiter popped from a shared "
+               "queue (delivery order is tie-break-sensitive)")
+    hint = ("prove the pairing immaterial with 'repro race "
+            "--permutations N' and sanction the site with '# repro: "
+            "allow[race/zero-delay-shared]', or make the handoff order "
+            "explicit (positive delay or a sequence-keyed queue)")
+
+    def _scan(self, model: ProgramModel) -> Iterator[Finding]:
+        for fn in model.functions.values():
+            if _is_kernel_path(fn.path):
+                continue
+            for site in fn.sites:
+                if (site.kind == "trigger" and site.delay == DELAY_ZERO
+                        and site.receiver == RECV_POPPED):
+                    yield self._site_finding(
+                        model, site,
+                        f"zero-delay {site.call}() in {fn.qualname}() "
+                        "wakes a waiter popped from a shared queue; "
+                        "equal-timestamp delivery order is decided by "
+                        "the kernel tie-break")
+
+
+class SameTimeConflictRule(RaceRule):
+    """Flag pairs of zero-delay handlers that conflict on shared state.
+
+    A function scheduling two different handlers at +0 ns puts both at
+    the same instant; if (transitively) one writes a ``self.*``
+    attribute the other reads or writes, their dispatch order — i.e.
+    the tie-break permutation — changes the outcome.  This is the
+    near-certain race shape: unlike the shared-waiter warning there is
+    no symmetry argument to appeal to, so it is an error.
+    """
+
+    rule_id = "race/same-time-conflict"
+    severity = Severity.ERROR
+    summary = ("two zero-delay handlers scheduled for the same instant "
+               "conflict on shared state")
+    hint = ("run the handlers from one callback in an explicit order, "
+            "or separate them with strictly increasing delays; "
+            "same-instant dispatch order is a tie-break accident")
+
+    #: How many call-graph hops to chase when collecting each
+    #: handler's transitive state accesses.
+    depth = 4
+
+    def _scan(self, model: ProgramModel) -> Iterator[Finding]:
+        for fn in model.functions.values():
+            if _is_kernel_path(fn.path):
+                continue
+            zero_sites = [site for site in fn.sites
+                          if site.kind == "callback"
+                          and site.delay == DELAY_ZERO
+                          and site.handler is not None]
+            for i, first in enumerate(zero_sites):
+                for second in zero_sites[i + 1:]:
+                    if first.handler == second.handler:
+                        continue
+                    conflict = self._conflict(model, fn, first, second)
+                    if conflict:
+                        yield self._site_finding(
+                            model, second,
+                            f"{first.handler}() (line {first.line}) and "
+                            f"{second.handler}() are both scheduled at "
+                            f"+0 ns from {fn.qualname}() and conflict "
+                            f"on self.{conflict[0]}; their dispatch "
+                            "order is tie-break-sensitive")
+
+    def _conflict(self, model: ProgramModel, fn: FunctionInfo,
+                  first: ScheduleSite,
+                  second: ScheduleSite) -> List[str]:
+        first_fns = model.resolve(fn, first.handler or "")
+        second_fns = model.resolve(fn, second.handler or "")
+        if not first_fns or not second_fns:
+            return []
+        reads_a, writes_a = model.reachable_accesses(first_fns[0],
+                                                     depth=self.depth)
+        reads_b, writes_b = model.reachable_accesses(second_fns[0],
+                                                     depth=self.depth)
+        return sorted((writes_a & (reads_b | writes_b))
+                      | (writes_b & (reads_a | writes_a)))
+
+
+#: Unbound catalog instances (for ``--list-rules`` and id lookup).
+RACE_RULES: Tuple[RaceRule, ...] = (
+    ZeroDelaySharedRule(),
+    SameTimeConflictRule(),
+)
+
+
+def build_race_rules(paths: Sequence[Union[str, Path]],
+                     root: Optional[Union[str, Path]] = None
+                     ) -> List[RaceRule]:
+    """Race rules bound to a model of every ``.py`` file under *paths*.
+
+    Pass the same *paths*/*root* as the accompanying
+    :func:`~repro.analysis.lint.lint_paths` call so finding paths (and
+    therefore fingerprints and suppressions) line up exactly.
+    """
+    model = ProgramModel.build(paths, root=root)
+    return [ZeroDelaySharedRule().bind(model),
+            SameTimeConflictRule().bind(model)]
+
+
+def scan_paths(paths: Sequence[Union[str, Path]],
+               root: Optional[Union[str, Path]] = None) -> List[Finding]:
+    """Every raw race finding under *paths*, before any suppression.
+
+    The injection self-test uses this to assert the planted race in
+    :mod:`repro.analysis.racedemo` is visible to the static pass even
+    though its inline allows keep ``repro lint`` green.
+    """
+    findings: List[Finding] = []
+    for rule in build_race_rules(paths, root=root):
+        findings.extend(rule._findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings

@@ -11,14 +11,16 @@ import json
 from typing import Dict, List
 
 from repro.analysis.lint import LintResult
+from repro.analysis.racecheck import RACE_RULES
 from repro.analysis.rules import ALL_RULES, Finding, Severity
 
 
 def render_rules() -> str:
     """The ``--list-rules`` table: id, severity, summary per rule."""
-    width = max(len(rule.rule_id) for rule in ALL_RULES)
+    catalog = list(ALL_RULES) + list(RACE_RULES)
+    width = max(len(rule.rule_id) for rule in catalog)
     lines = ["determinism lint rules:"]
-    for rule in ALL_RULES:
+    for rule in catalog:
         lines.append(f"  {rule.rule_id:{width}s}  "
                      f"{rule.severity.value:7s}  {rule.summary}")
     lines.append("")
@@ -46,12 +48,15 @@ def render_result(result: LintResult) -> str:
         lines.append(finding.render())
     if result.unused_baseline:
         lines.append(
-            f"note: {len(result.unused_baseline)} baseline entries "
-            "matched nothing (fixed findings?); refresh with "
-            "--update-baseline")
+            f"stale baseline: {len(result.unused_baseline)} entries "
+            "matched nothing (the findings were fixed); a stale "
+            "baseline fails the run — prune with --prune-baseline")
     lines.append(_summary_line(result))
-    if result.ok:
+    if result.ok and not result.unused_baseline:
         lines.append("determinism lint: clean")
+    elif result.ok:
+        lines.append("determinism lint: FAILED (stale baseline entries; "
+                     "prune with --prune-baseline)")
     else:
         lines.append("determinism lint: FAILED (fix the findings above, "
                      "add '# repro: allow[rule-id]' at reviewed sites, "
@@ -74,12 +79,63 @@ def _finding_to_jsonable(finding: Finding) -> Dict[str, object]:
 
 
 def render_result_json(result: LintResult) -> str:
-    """The same report as a stable JSON document."""
+    """The same report as a stable JSON document.
+
+    ``ok`` is the CI gate: it goes false for surviving findings *and*
+    for stale baseline entries (which the text report flags too).
+    """
     return json.dumps({
-        "ok": result.ok,
+        "ok": result.ok and not result.unused_baseline,
         "files_checked": result.files_checked,
         "inline_suppressed": result.inline_suppressed,
         "baseline_suppressed": result.baseline_suppressed,
         "unused_baseline": sorted(result.unused_baseline),
         "findings": [_finding_to_jsonable(f) for f in result.findings],
     }, indent=2, sort_keys=True)
+
+
+def render_race_report(reports, strict: bool = False) -> str:
+    """The ``repro race`` table: one verdict line per system.
+
+    *reports* is a list of
+    :class:`~repro.analysis.racefuzz.SystemRaceReport`.  Reassociated
+    systems list the drifting fields (float summation reassociation,
+    tolerated unless *strict*); divergent systems list the fields that
+    actually moved.
+    """
+    from repro.analysis.racefuzz import (
+        VERDICT_DIVERGENT,
+        VERDICT_REASSOCIATED,
+    )
+    lines: List[str] = []
+    width = max((len(r.system) for r in reports), default=8)
+    failed = 0
+    for report in reports:
+        verdict = report.verdict
+        lines.append(f"  {report.system:{width}s}  "
+                     f"{report.permutations} permutations  "
+                     f"{verdict:12s}  identity "
+                     f"{report.identity_digest[:12]}")
+        for outcome in report.outcomes:
+            if outcome.verdict == VERDICT_REASSOCIATED:
+                for drift in outcome.drifts:
+                    lines.append(
+                        f"      perm {outcome.index}: {drift.field} "
+                        f"drifted {drift.baseline!r} -> "
+                        f"{drift.value!r} (within tolerance)")
+            elif outcome.verdict == VERDICT_DIVERGENT:
+                for diff in outcome.diffs[:4]:
+                    lines.append(
+                        f"      perm {outcome.index}: {diff.field} "
+                        f"DIVERGED {diff.baseline!r} -> {diff.value!r}")
+        if not report.ok(strict=strict):
+            failed += 1
+    if failed:
+        lines.append(f"schedule-permutation fuzz: FAILED "
+                     f"({failed} of {len(reports)} systems "
+                     f"{'not invariant' if strict else 'divergent'})")
+    else:
+        lines.append(f"schedule-permutation fuzz: clean "
+                     f"({len(reports)} systems, ties permuted with no "
+                     "observable effect)")
+    return "\n".join(lines)

@@ -454,6 +454,67 @@ class HashSeedRule(Rule):
             yield self.finding(ctx, node)
 
 
+#: Identifier shapes that carry a simulated *instant* (a clock value,
+#: not a duration): duration counters (``busy_ns``, ``wait_ns``) are
+#: legitimately accumulated all over the tree, but a component keeping
+#: its own clock by repeated float addition drifts from the kernel's
+#: ``now`` by accumulated rounding.
+_INSTANT_SUFFIXES = ("_time", "_deadline")
+
+
+def _is_instant_like(node: ast.AST) -> bool:
+    """Heuristic: does *node* name a simulated clock instant?"""
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    return name in _TIME_NAMES or name.endswith(_INSTANT_SUFFIXES)
+
+
+class SimTimeArithRule(Rule):
+    """Flag cumulative float updates of a simulated instant outside the
+    engine.
+
+    ``self.now += dt`` keeps a private clock by summation; the kernel's
+    clock advances by assignment from schedule entries, so the two
+    accumulate rounding differently and drift apart — and the private
+    clock's value depends on the *order* terms were added, which ties
+    it to scheduling accidents.  Only the engine modules under
+    ``repro/sim/`` are sanctioned to do time arithmetic; single-
+    producer arrival generators that deliberately accumulate a local
+    clock sanction themselves inline.
+    """
+
+    rule_id = "sim-time-arith"
+    severity = Severity.WARNING
+    summary = ("cumulative float arithmetic on a simulated instant "
+               "outside the engine (private clock drift)")
+    hint = ("derive instants from sim.now (or schedule entries) instead "
+            "of accumulating them; a reviewed single-producer "
+            "accumulator takes '# repro: allow[sim-time-arith]'")
+
+    @staticmethod
+    def _sanctioned(ctx: FileContext) -> bool:
+        normalized = "/" + ctx.path.replace("\\", "/")
+        return "/repro/sim/" in normalized or normalized.startswith("/sim/")
+
+    def check(self, module: ast.Module,
+              ctx: FileContext) -> Iterator[Finding]:
+        """Yield +=/-= updates of instant-like names (non-engine files)."""
+        if self._sanctioned(ctx):
+            return
+        for node in ast.walk(module):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            if _is_instant_like(node.target):
+                name = _terminal_name(node.target)
+                yield self.finding(
+                    ctx, node,
+                    f"cumulative update of simulated instant "
+                    f"{name!r} outside repro/sim")
+
+
 class FaultStreamRule(Rule):
     """Flag fault-injection RNG draws outside the ``faults.*`` streams.
 
@@ -511,6 +572,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     FloatTimeEqRule(),
     MutableDefaultRule(),
     HashSeedRule(),
+    SimTimeArithRule(),
     FaultStreamRule(),
 )
 

@@ -15,6 +15,8 @@ terminal::
     repro all                  # everything (several minutes)
     repro lint                 # determinism static analysis over src
     repro lint --list-rules    # the rule catalog
+    repro race                 # schedule-permutation fuzzer (tie races)
+    repro race --inject        # self-test on a planted race
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.analysis.lint import (
     lint_paths,
 )
 from repro.analysis.report import (
+    render_race_report,
     render_result,
     render_result_json,
     render_rules,
@@ -191,11 +194,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write every current unsuppressed finding to the "
              "baseline file and exit 0")
     lint_parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop stale baseline entries (fingerprints no longer "
+             "emitted) instead of failing on them")
+    lint_parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="report format (default: text)")
     lint_parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit")
+
+    race_parser = sub.add_parser(
+        "race", help="schedule-permutation fuzzer: replay systems "
+                     "under permuted equal-timestamp dispatch order "
+                     "and require metrics-digest invariance")
+    race_parser.add_argument(
+        "--permutations", type=int, default=4, metavar="N",
+        help="tie-break policies per system, including the identity "
+             "(default: 4)")
+    race_parser.add_argument(
+        "--systems", default=None, metavar="NAMES",
+        help="comma-separated registry names (default: every "
+             "registered system)")
+    race_parser.add_argument(
+        "--rate", type=float, default=200e3, metavar="RPS",
+        help="offered load per replay (default: 200e3)")
+    race_parser.add_argument(
+        "--service-us", type=float, default=2.0, metavar="US",
+        help="fixed service time, microseconds (default: 2.0)")
+    race_parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="horizon scale factor per replay (default: 0.1)")
+    race_parser.add_argument(
+        "--policy-seed", type=int, default=0,
+        help="seed of the permutation family (default: 0)")
+    race_parser.add_argument("--seed", type=int, default=42,
+                             help="workload seed (default: 42)")
+    race_parser.add_argument(
+        "--strict", action="store_true",
+        help="fail float-summation reassociation too, not just "
+             "semantic divergence")
+    race_parser.add_argument(
+        "--inject", action="store_true",
+        help="self-test: run the planted race instead and require "
+             "BOTH prongs (static pass + fuzzer) to catch it")
+    race_parser.add_argument(
+        "--sanitize", action="store_true",
+        help="replay on the observation-only sanitizing simulator")
     return parser
 
 
@@ -367,7 +412,15 @@ def _default_baseline_path() -> Optional[Path]:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Run the determinism lint; exit 0 only when nothing survives."""
+    """Run the determinism lint; exit 0 only when nothing survives.
+
+    Per-file rules and the interprocedural ``race/*`` family run
+    together over the same path set, and a baseline entry whose finding
+    no longer exists fails the run (``--prune-baseline`` drops such
+    entries instead) so the sanctioned-findings ledger can never rot.
+    """
+    from repro.analysis.racecheck import build_race_rules
+    from repro.analysis.rules import ALL_RULES
     if args.list_rules:
         print(render_rules())
         return 0
@@ -376,22 +429,84 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # Fingerprints are relative to the source root so they are stable
     # across checkouts; explicit paths fall back to their own parents.
     root = package_dir.parent if not args.paths else None
+    rules = list(ALL_RULES) + list(build_race_rules(paths, root=root))
     baseline_path = (Path(args.baseline) if args.baseline
                      else _default_baseline_path())
     if args.update_baseline:
-        result = lint_paths(paths, root=root, baseline=None)
+        result = lint_paths(paths, root=root, rules=rules, baseline=None)
         target = baseline_path or Path.cwd() / BASELINE_FILENAME
         Baseline.from_findings(result.findings).save(target)
         print(f"baseline: wrote {len(result.findings)} finding(s) to "
               f"{target}")
         return 0
     baseline = Baseline.load(baseline_path)
-    result = lint_paths(paths, root=root, baseline=baseline)
+    result = lint_paths(paths, root=root, rules=rules, baseline=baseline)
+    if result.unused_baseline and args.prune_baseline:
+        stale = result.unused_baseline
+        baseline.entries = [entry for entry in baseline.entries
+                            if entry.get("fingerprint") not in stale]
+        target = baseline_path or Path.cwd() / BASELINE_FILENAME
+        baseline.save(target)
+        print(f"baseline: pruned {len(stale)} stale entr"
+              f"{'y' if len(stale) == 1 else 'ies'} from {target}")
+        result.unused_baseline = set()
     if args.format == "json":
         print(render_result_json(result))
     else:
         print(render_result(result))
-    return 0 if result.ok else 1
+    return 0 if result.ok and not result.unused_baseline else 1
+
+
+def _cmd_race(args: argparse.Namespace) -> int:
+    """Run the schedule-permutation fuzzer (or its injection self-test)."""
+    from repro.analysis.racefuzz import (
+        VERDICT_DIVERGENT,
+        fuzz_all,
+        fuzz_injected,
+    )
+    _apply_sanitize_flag(args)
+    if args.inject:
+        from repro.analysis import racedemo
+        from repro.analysis.racecheck import scan_paths
+        package_dir = Path(repro.__file__).resolve().parent
+        demo_path = Path(racedemo.__file__).resolve()
+        static_hits = [
+            finding for finding in scan_paths([demo_path],
+                                              root=package_dir.parent)
+            if finding.rule_id == "race/same-time-conflict"]
+        report = fuzz_injected(permutations=args.permutations,
+                               policy_seed=args.policy_seed)
+        dynamic_caught = report.verdict == VERDICT_DIVERGENT
+        print("race --inject (planted tie-break-sensitive schedule):")
+        print(f"  static prong   {len(static_hits)} "
+              f"race/same-time-conflict finding(s) in racedemo "
+              f"{'[caught]' if static_hits else '[MISSED]'}")
+        flipped = sum(1 for o in report.outcomes
+                      if o.verdict == VERDICT_DIVERGENT)
+        print(f"  dynamic prong  {flipped}/{len(report.outcomes)} "
+              f"permutations diverged from identity "
+              f"{'[caught]' if dynamic_caught else '[MISSED]'}")
+        if static_hits and dynamic_caught:
+            print("injection caught by both prongs")
+            return 0
+        print("injection MISSED; the race detector is not detecting",
+              file=sys.stderr)
+        return 1
+    names = ([name.strip() for name in args.systems.split(",")
+              if name.strip()] if args.systems else None)
+    start = time.perf_counter()  # repro: allow[wall-clock]
+    reports = fuzz_all(names, permutations=args.permutations,
+                       policy_seed=args.policy_seed, rate_rps=args.rate,
+                       service_us=args.service_us, scale=args.scale,
+                       run_seed=args.seed)
+    elapsed = time.perf_counter() - start  # repro: allow[wall-clock]
+    print(f"schedule-permutation fuzz: {len(reports)} system(s), "
+          f"{args.permutations} permutations each, policy seed "
+          f"{args.policy_seed}, {args.rate / 1e3:.0f}k RPS, "
+          f"scale {args.scale:g}:")
+    print(render_race_report(reports, strict=args.strict))
+    print(f"[race fuzz in {elapsed:.1f}s]")
+    return 0 if all(r.ok(strict=args.strict) for r in reports) else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -408,6 +523,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"--system <name>)")
         print(f"  {'lint':9s} determinism static analysis "
               f"(repro lint --list-rules)")
+        print(f"  {'race':9s} schedule-permutation fuzzer "
+              f"(repro race --permutations N)")
         print(f"  {'bench':9s} record perf artifacts "
               f"(repro bench --list)")
         return 0
@@ -431,6 +548,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "lint":
         try:
             return _cmd_lint(args)
+        except ReproError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
+    if args.command == "race":
+        try:
+            return _cmd_race(args)
         except ReproError as exc:
             print(f"repro: {exc}", file=sys.stderr)
             return 2

@@ -30,6 +30,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import RunMetrics
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
+from repro.sim.tiebreak import TieBreakPolicy, tiebreak_from_env
 from repro.systems.base import BaseSystem
 from repro.units import ms
 from repro.workload.arrivals import PoissonArrivals
@@ -138,6 +139,7 @@ def run_point_with_events(factory: SystemFactory, rate_rps: float,
                           config: Optional[RunConfig] = None,
                           clients: Optional[ClientPool] = None,
                           sanitize: Optional[bool] = None,
+                          tiebreak: Optional[TieBreakPolicy] = None,
                           ) -> Tuple[RunMetrics, int]:
     """Run one point and return (metrics, simulator events executed).
 
@@ -150,6 +152,13 @@ def run_point_with_events(factory: SystemFactory, rate_rps: float,
     :mod:`repro.analysis.sanitizer`); the default None defers to the
     ``REPRO_SANITIZE`` environment variable, which worker processes of
     a parallel executor inherit.  Metrics are bit-identical either way.
+
+    ``tiebreak`` installs an equal-timestamp ordering policy on the
+    fresh simulator (see :mod:`repro.sim.tiebreak`); the default None
+    defers to ``REPRO_TIEBREAK`` (identity/FIFO when unset).  The
+    schedule-permutation fuzzer (``repro race``) drives this seam —
+    results must be bit-identical under any policy for a system free of
+    tie-break races.
     """
     if config is None:
         config = RunConfig()
@@ -167,12 +176,16 @@ def run_point_with_events(factory: SystemFactory, rate_rps: float,
         config = replace(config, fastpath=None)
     if sanitize is None:
         sanitize = sanitize_enabled()
+    if tiebreak is None:
+        tiebreak = tiebreak_from_env()
     if sanitize:
         rngs: RngRegistry = SanitizedRngRegistry(config.seed)
         sim: Simulator = SanitizedSimulator(rngs=rngs)
     else:
         rngs = RngRegistry(config.seed)
         sim = Simulator()
+    if tiebreak is not None:
+        sim.set_tiebreak(tiebreak)
     metrics = MetricsCollector(sim, warmup_ns=config.warmup_ns)
     system = factory(sim, rngs, metrics)
     plan = config.faults

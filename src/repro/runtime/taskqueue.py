@@ -95,7 +95,11 @@ class TaskQueue:
                 if "queued" not in stamps:
                     stamps["queued"] = self.sim._now
                 self.enqueued += 1
-                getter.succeed(request)
+                # Same-instant handoffs to symmetric dispatch workers:
+                # acquitted by 'repro race' (digest-invariant across
+                # tie-break permutations up to float summation
+                # reassociation in worker wait accounting).
+                getter.succeed(request)  # repro: allow[race/zero-delay-shared]
                 return True
         container = (self._fifo if self.policy is QueuePolicy.FIFO
                      else self._heap)

@@ -19,10 +19,14 @@ from repro.sim.events import Event, Timeout, AnyOf, AllOf, EventState
 from repro.sim.process import Process
 from repro.sim.primitives import Store, Resource, Channel, Signal
 from repro.sim.rng import RngRegistry
+from repro.sim.tiebreak import FIFO, TieBreakPolicy, permutation_policy
 from repro.sim.trace import Tracer, TraceRecord
 
 __all__ = [
     "Simulator",
+    "TieBreakPolicy",
+    "FIFO",
+    "permutation_policy",
     "Event",
     "Timeout",
     "AnyOf",

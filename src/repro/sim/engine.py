@@ -59,6 +59,7 @@ from typing import Any, Callable, Generator, Iterator, Optional
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.sim.tiebreak import FIFO, TB_MASK, TieBreakPolicy
 from repro.sim.wheel import GRANULARITY, TimerWheel
 
 #: Priority levels: lower runs first among simultaneous events.
@@ -112,7 +113,7 @@ class Simulator:
     __slots__ = ("_now", "_heap", "_near_end", "_wheel", "_seq",
                  "_event_count", "_running", "fault_injector",
                  "_timeout_pool", "_event_pool", "_deferred_pool",
-                 "_near_cancelled")
+                 "_near_cancelled", "_tiebreak", "_tb_mult", "_tb_add")
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
@@ -136,6 +137,14 @@ class Simulator:
         self._deferred_pool: list = []
         #: Lazily-cancelled entries believed to ride the near heap.
         self._near_cancelled = 0
+        #: Tie-break policy: equal-(when, priority) events dispatch in
+        #: ``(seq * _tb_mult + _tb_add) & TB_MASK`` order.  The default
+        #: identity (mult 1, add 0) is byte-identical FIFO; every push
+        #: site — heap, wheel, and the inlined fast paths in events.py
+        #: and primitives.py — applies the same affine mix.
+        self._tiebreak = FIFO
+        self._tb_mult = 1
+        self._tb_add = 0
 
     # -- clock ---------------------------------------------------------------
 
@@ -148,6 +157,27 @@ class Simulator:
     def event_count(self) -> int:
         """Total number of events processed so far (diagnostics)."""
         return self._event_count
+
+    # -- tie-break policy ----------------------------------------------------
+
+    @property
+    def tiebreak(self) -> TieBreakPolicy:
+        """The active equal-timestamp ordering policy."""
+        return self._tiebreak
+
+    def set_tiebreak(self, policy: TieBreakPolicy) -> None:
+        """Install *policy* as the equal-timestamp ordering.
+
+        Must be called before anything is scheduled: mixing keys from
+        two policies in one schedule would break the total order.
+        """
+        if self._seq or self._heap or self._wheel.count:
+            raise SimulationError(
+                "set_tiebreak() after scheduling began; install the "
+                "policy on a fresh simulator")
+        self._tiebreak = policy
+        self._tb_mult = policy.mult
+        self._tb_add = policy.add
 
     # -- factories -----------------------------------------------------------
 
@@ -177,12 +207,13 @@ class Simulator:
             ev.label = label
             ev.delay = delay
             self._seq = seq = self._seq + 1
+            key = (seq * self._tb_mult + self._tb_add) & TB_MASK
             when = self._now + delay
             ev.when = when
             if when < self._near_end:
-                heappush(self._heap, (when, NORMAL, seq, ev))
+                heappush(self._heap, (when, NORMAL, key, ev))
             else:
-                self._wheel.push((when, NORMAL, seq, ev))
+                self._wheel.push((when, NORMAL, key, ev))
             return ev
         return Timeout(self, delay, value=value, label=label)
 
@@ -240,11 +271,12 @@ class Simulator:
         else:
             cell = _Deferred(func, args)
         self._seq = seq = self._seq + 1
+        key = (seq * self._tb_mult + self._tb_add) & TB_MASK
         when = self._now + delay
         if when < self._near_end:
-            heappush(self._heap, (when, NORMAL, seq, cell))
+            heappush(self._heap, (when, NORMAL, key, cell))
         else:
-            self._wheel.push((when, NORMAL, seq, cell))
+            self._wheel.push((when, NORMAL, key, cell))
 
     def defer_at(self, when: float, func: Callable[..., None], *args) -> None:
         """Run ``func(*args)`` at absolute time *when*; fire-and-forget.
@@ -265,12 +297,13 @@ class Simulator:
         """Insert a triggered *event* into the schedule (kernel use)."""
         if delay < 0:
             raise SchedulingError(f"negative delay: {delay}")
-        self._seq += 1
+        self._seq = seq = self._seq + 1
+        key = (seq * self._tb_mult + self._tb_add) & TB_MASK
         when = self._now + delay
         if when < self._near_end:
-            heappush(self._heap, (when, priority, self._seq, event))
+            heappush(self._heap, (when, priority, key, event))
         else:
-            self._wheel.push((when, priority, self._seq, event))
+            self._wheel.push((when, priority, key, event))
 
     def _refill(self) -> bool:
         """Move the next wheel batch into the (empty) near heap.

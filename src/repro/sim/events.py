@@ -32,6 +32,7 @@ from heapq import heappush
 from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
 from repro.errors import SchedulingError, SimulationError
+from repro.sim.tiebreak import TB_MASK
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
@@ -128,11 +129,12 @@ class Event:
         self._state = _TRIGGERED
         sim = self.sim
         sim._seq = seq = sim._seq + 1
+        key = (seq * sim._tb_mult + sim._tb_add) & TB_MASK
         when = sim._now + delay
         if when < sim._near_end:
-            heappush(sim._heap, (when, _NORMAL, seq, self))
+            heappush(sim._heap, (when, _NORMAL, key, self))
         else:
-            sim._wheel.push((when, _NORMAL, seq, self))
+            sim._wheel.push((when, _NORMAL, key, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -148,11 +150,12 @@ class Event:
         self._state = _TRIGGERED
         sim = self.sim
         sim._seq = seq = sim._seq + 1
+        key = (seq * sim._tb_mult + sim._tb_add) & TB_MASK
         when = sim._now + delay
         if when < sim._near_end:
-            heappush(sim._heap, (when, _NORMAL, seq, self))
+            heappush(sim._heap, (when, _NORMAL, key, self))
         else:
-            sim._wheel.push((when, _NORMAL, seq, self))
+            sim._wheel.push((when, _NORMAL, key, self))
         return self
 
     def cancel(self) -> bool:
@@ -205,13 +208,14 @@ class Timeout(Event):
         self.label = label
         self.delay = delay
         sim._seq = seq = sim._seq + 1
+        key = (seq * sim._tb_mult + sim._tb_add) & TB_MASK
         # The absolute deadline is kept on the event so cancel() can
         # locate its wheel bucket without a search.
         self.when = when = sim._now + delay
         if when < sim._near_end:
-            heappush(sim._heap, (when, _NORMAL, seq, self))
+            heappush(sim._heap, (when, _NORMAL, key, self))
         else:
-            sim._wheel.push((when, _NORMAL, seq, self))
+            sim._wheel.push((when, _NORMAL, key, self))
 
 
 class _Condition(Event):

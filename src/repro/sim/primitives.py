@@ -16,6 +16,7 @@ from typing import Any, Deque, Optional, TYPE_CHECKING
 
 from repro.errors import QueueFullError, SimulationError
 from repro.sim.events import Event, _NORMAL, _PENDING, _TRIGGERED
+from repro.sim.tiebreak import TB_MASK
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
@@ -104,7 +105,8 @@ class Store:
                 getter._state = _TRIGGERED
                 sim = self.sim
                 sim._seq = seq = sim._seq + 1
-                heappush(sim._heap, (sim._now + 0.0, _NORMAL, seq, getter))
+                key = (seq * sim._tb_mult + sim._tb_add) & TB_MASK
+                heappush(sim._heap, (sim._now + 0.0, _NORMAL, key, getter))
                 self.total_put += 1
                 return True
         items = self._items
@@ -143,7 +145,8 @@ class Store:
             ev._ok = True
             ev._state = _TRIGGERED
             sim._seq = seq = sim._seq + 1
-            heappush(sim._heap, (sim._now + 0.0, _NORMAL, seq, ev))
+            key = (seq * sim._tb_mult + sim._tb_add) & TB_MASK
+            heappush(sim._heap, (sim._now + 0.0, _NORMAL, key, ev))
             if self._putters:
                 self._admit_putter()
             return ev
@@ -328,7 +331,8 @@ class Signal:
                 waiter._value = value
                 waiter._state = _TRIGGERED
                 sim._seq = seq = sim._seq + 1
-                heappush(heap, (when, _NORMAL, seq, waiter))
+                key = (seq * sim._tb_mult + sim._tb_add) & TB_MASK
+                heappush(heap, (when, _NORMAL, key, waiter))
                 woken += 1
         return woken
 

@@ -72,7 +72,9 @@ class RequestTrace:
         entries: List[TraceEntry] = []
         now = 0.0
         while True:
-            now += arrivals.next_gap_ns(arrival_rng)
+            # Single-producer arrival clock: the whole trace is drawn
+            # here in one pass, so accumulation order is fixed.
+            now += arrivals.next_gap_ns(arrival_rng)  # repro: allow[sim-time-arith]
             if now > horizon_ns:
                 break
             src_ip, src_port = pool.pick(flow_rng)

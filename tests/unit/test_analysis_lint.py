@@ -327,6 +327,45 @@ class TestEngine:
         assert a[0].fingerprint != b[0].fingerprint
 
 
+class TestSimTimeArith:
+    def test_accumulating_an_instant_flagged(self):
+        assert "sim-time-arith" in rule_ids("""
+            def produce(self, gap):
+                self.now += gap
+        """)
+
+    def test_subtracting_from_deadline_flagged(self):
+        assert "sim-time-arith" in rule_ids("""
+            def shrink(self, slack):
+                self.next_deadline -= slack
+        """)
+
+    def test_duration_counters_not_flagged(self):
+        """busy_ns/wait_ns are durations, not instants: summing them is
+        the intended accounting, not a private clock."""
+        assert rule_ids("""
+            def account(self, span):
+                self.busy_ns += span
+                self.wait_ns += span
+        """) == []
+
+    def test_assignment_from_schedule_not_flagged(self):
+        assert rule_ids("""
+            def observe(self, sim):
+                self.deadline = sim.now + 100.0
+        """) == []
+
+    def test_engine_modules_sanctioned(self):
+        source = "def advance(self, gap):\n    self.now += gap\n"
+        assert lint_source(source, "repro/sim/engine.py") == []
+
+    def test_inline_allow_suppresses(self):
+        assert surviving_ids("""
+            def record(self, gap):
+                self.now += gap  # repro: allow[sim-time-arith]
+        """) == []
+
+
 class TestBaseline:
     SOURCE = "import time\nt = time.time()\n"
 
@@ -400,6 +439,7 @@ class TestLintCli:
             "float-time-eq": "same = a_ns == b_ns\n",
             "mutable-default": "def f(acc=[]):\n    return acc\n",
             "hash-seed": "key = hash('name')\n",
+            "sim-time-arith": "now = 0.0\nnow += 1.5\n",
             # Only fires on modules under a faults/ path segment.
             "fault-stream": "u = rngs.stream('service').random()\n",
         }
@@ -437,3 +477,55 @@ class TestLintCli:
         out = capsys.readouterr().out
         for rule in ALL_RULES:
             assert rule.rule_id in out
+        assert "race/zero-delay-shared" in out
+        assert "race/same-time-conflict" in out
+
+    def test_stale_baseline_fails_the_run(self, tmp_path, capsys):
+        """Fixing a baselined finding must fail lint until the ledger
+        is pruned — sanctioned-findings entries can never rot."""
+        bad = self._write_violation(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(bad), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        bad.write_text("x = 1\n")  # the finding is fixed
+        capsys.readouterr()
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "stale baseline" in out
+        assert "--prune-baseline" in out
+
+    def test_prune_baseline_drops_stale_entries(self, tmp_path, capsys):
+        bad = self._write_violation(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(bad), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        bad.write_text("x = 1\n")
+        capsys.readouterr()
+        assert main(["lint", str(bad), "--baseline", str(baseline),
+                     "--prune-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale entry" in out
+        assert "clean" in out
+        assert Baseline.load(baseline).fingerprints == set()
+        # And the pruned ledger now passes a plain run.
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+
+    def test_prune_keeps_live_entries(self, tmp_path, capsys):
+        """Pruning removes only the stale fingerprints."""
+        first = tmp_path / "first.py"
+        second = tmp_path / "second.py"
+        first.write_text("import time\nt = time.time()\n")
+        second.write_text("key = hash('name')\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(first), str(second),
+                     "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert len(Baseline.load(baseline).fingerprints) == 2
+        second.write_text("x = 1\n")  # fix one of the two
+        capsys.readouterr()
+        assert main(["lint", str(first), str(second),
+                     "--baseline", str(baseline),
+                     "--prune-baseline"]) == 0
+        remaining = Baseline.load(baseline).fingerprints
+        assert len(remaining) == 1
+        assert "1 baselined" in capsys.readouterr().out
