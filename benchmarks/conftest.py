@@ -8,7 +8,10 @@ smoothest curves, smaller values run faster with more sampling noise.
 ``REPRO_BENCH_JOBS`` (int, default 1) fans sweep points across that
 many worker processes, and ``REPRO_BENCH_CACHE_DIR`` (a path, default
 unset) caches point results on disk so re-running a bench skips
-already-measured points.  Results are bit-identical in every mode.
+already-measured points.  ``REPRO_BENCH_PROGRESS`` (truthy, default
+unset) streams per-point progress events through the suite's executor,
+measuring the observability layer under the bench clock.  Results are
+bit-identical in every mode.
 
 Benches that share a suite with ``repro bench`` (currently the fig2
 sweep) record through :func:`repro.bench.recorder.record_suite` with
@@ -67,6 +70,12 @@ def bench_cache_dir() -> Optional[str]:
     return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
 
+def bench_progress() -> bool:
+    """``REPRO_BENCH_PROGRESS`` (truthy): stream progress events while
+    suites run, measuring the observability layer's overhead."""
+    return os.environ.get("REPRO_BENCH_PROGRESS", "") not in ("", "0")
+
+
 def bench_options() -> "BenchOptions":
     """The recorder knobs this pytest session runs under.
 
@@ -77,7 +86,8 @@ def bench_options() -> "BenchOptions":
     """
     from repro.bench.recorder import BenchOptions
     return BenchOptions(scale=bench_scale(), seed=42, jobs=bench_jobs(),
-                        cache_dir=bench_cache_dir())
+                        cache_dir=bench_cache_dir(),
+                        progress=bench_progress())
 
 
 def record_bench(name: str):

@@ -7,15 +7,22 @@ identity (FIFO) run.  A system whose behavior does not depend on
 equal-timestamp dispatch order produces the same bits under every
 permutation; one that does is racing on a scheduling accident.
 
+Fuzz runs execute the collector with ``exact_reductions`` on: float
+aggregates over symmetric workers use exactly rounded sums
+(:func:`math.fsum`), so when permuted workers merely swap which idle
+interval each one absorbed, the aggregate is a pure function of the
+interval multiset and the run certifies *invariant*.  The production
+path keeps its canonical-order summation (the published digests pin
+that rounding), which is deterministic but not reassociation-free —
+the fuzzer's job is to prove the underlying intervals, not the
+rounding order, are schedule-independent.
+
 Verdict taxonomy
 ----------------
-Bit-equality is the gold standard, but a permutation can also change
+Bit-equality is the gold standard, but a permutation could also change
 *nothing observable* while still perturbing the last ulp of a float
-aggregate: when symmetric workers swap which idle interval each one
-absorbed, the multiset of intervals is identical yet the fixed-order
-per-worker summation rounds differently.  Collapsing that with a real
-race would make the tool cry wolf, so each permuted run gets one of
-three verdicts:
+aggregate.  Collapsing that with a real race would make the tool cry
+wolf, so each permuted run gets one of three verdicts:
 
 - ``invariant`` — metrics digest identical to the identity run.
 - ``reassociated`` — some float field differs, but every field agrees
@@ -26,9 +33,11 @@ three verdicts:
 - ``divergent`` — a structural or beyond-tolerance difference: the
   system's behavior depends on tie order.  Always fails.
 
-The identity permutation (index 0) is byte-identical to the historical
-schedule by construction, which the golden suites pin — so the fuzzer
-can never move the baseline it judges against.
+The identity permutation (index 0) replays the historical schedule by
+construction — the same events in the same order the golden suites pin
+— so the fuzzer can never move the baseline it judges against (its
+reported digests differ from production digests only where exact
+summation rounds differently than the canonical order).
 """
 
 from __future__ import annotations
@@ -169,10 +178,10 @@ def fuzz_system(name: str, permutations: int = 4, policy_seed: int = 0,
                 ) -> SystemRaceReport:
     """Permutation-sweep one registered system at one load point.
 
-    Runs the identity policy first (byte-identical to the historical
-    schedule), then each non-identity permutation, comparing full
-    metrics images.  All runs share the workload seed — only the
-    equal-timestamp dispatch order varies.
+    Runs the identity policy first (the historical schedule), then each
+    non-identity permutation, comparing full metrics images.  All runs
+    share the workload seed and use exactly rounded collector
+    reductions — only the equal-timestamp dispatch order varies.
     """
     if permutations < 1:
         raise ExperimentError(
@@ -182,7 +191,8 @@ def fuzz_system(name: str, permutations: int = 4, policy_seed: int = 0,
     distribution = Fixed(us(service_us))
     identity = permutation_policy(0, policy_seed)
     base_metrics, _events = run_point_with_events(
-        factory, rate_rps, distribution, config, tiebreak=identity)
+        factory, rate_rps, distribution, config, tiebreak=identity,
+        exact_reductions=True)
     base_image = metrics_to_jsonable(base_metrics)
     report = SystemRaceReport(
         system=name, rate_rps=rate_rps, permutations=permutations,
@@ -190,7 +200,8 @@ def fuzz_system(name: str, permutations: int = 4, policy_seed: int = 0,
     for index in range(1, permutations):
         policy = permutation_policy(index, policy_seed)
         metrics, _events = run_point_with_events(
-            factory, rate_rps, distribution, config, tiebreak=policy)
+            factory, rate_rps, distribution, config, tiebreak=policy,
+            exact_reductions=True)
         image = metrics_to_jsonable(metrics)
         verdict, drifts, diffs = compare_metrics_images(base_image, image)
         report.outcomes.append(PermutationOutcome(

@@ -92,6 +92,12 @@ class BenchOptions:
     #: comparability fingerprint because approx points do less
     #: simulated work than exact ones.
     fastpath: str = "off"
+    #: Stream progress events while the suite runs.  Deliberately NOT
+    #: part of the comparability fingerprint: events observe the sweep
+    #: without changing the simulated work, so progress-on and
+    #: progress-off records stay comparable (the bench-guard suite
+    #: verifies the overhead stays inside the slowdown threshold).
+    progress: bool = False
 
     def __post_init__(self):
         if self.scale <= 0:

@@ -60,13 +60,22 @@ def _run_fig2(options: BenchOptions) -> SuiteResult:
     from repro.experiments.fastpath import parse_fastpath_mode
     from repro.experiments.figures import figure2
     from repro.experiments.harness import RunConfig
-    executor = make_executor(jobs=options.jobs, cache_dir=options.cache_dir)
+    progress = None
+    if options.progress:
+        # Measure the streaming layer under load: every point flows
+        # through the event stream while the bench clock runs.
+        from repro.experiments.progress import SweepProgress
+        progress = SweepProgress()
+    executor = make_executor(jobs=options.jobs, cache_dir=options.cache_dir,
+                             on_event=progress)
     config = RunConfig(seed=options.seed,
                        fastpath=parse_fastpath_mode(options.fastpath))
     figure = figure2(config=config, scale=options.scale, executor=executor)
     all_metrics = [point.metrics for sweep in figure.sweeps
                    for point in sweep.points]
     stats = executor.stats
+    detail_progress = ({"progress_events": progress.events_seen}
+                       if progress is not None else {})
     return SuiteResult(
         # Figure points, not executor submissions: under the fast path
         # the executor also runs internal anchor probes, which must not
@@ -80,6 +89,7 @@ def _run_fig2(options: BenchOptions) -> SuiteResult:
             "points_cached": stats.points_cached,
             "fastpath": options.fastpath,
             "provenance": _provenance_counts(all_metrics),
+            **detail_progress,
         },
         payload=figure,
     )

@@ -17,6 +17,8 @@ terminal::
     repro lint --list-rules    # the rule catalog
     repro race                 # schedule-permutation fuzzer (tie races)
     repro race --inject        # self-test on a planted race
+    repro fig2 --progress --cache-dir d   # stream per-point progress
+    repro watch --cache-dir d  # live scoreboard of that sweep
 """
 
 from __future__ import annotations
@@ -27,7 +29,10 @@ import sys
 import time
 from dataclasses import replace
 from pathlib import Path
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.progress import ProgressLedger
 
 import repro
 from repro.analysis.lint import (
@@ -108,6 +113,11 @@ def _build_parser() -> argparse.ArgumentParser:
                  "(bit-identical historical behavior), auto = exact at "
                  "the knee + calibrated model on the plateau, force = "
                  "model everything; fault runs always force exact")
+        cmd_parser.add_argument(
+            "--progress", action="store_true",
+            help="stream per-point progress events (started/completed/"
+                 "cache-hit/failed) as the sweep runs; with --cache-dir, "
+                 "also write a progress.jsonl ledger 'repro watch' tails")
 
     for fig_id, description in _FIGURE_DESCRIPTIONS.items():
         fig_parser = sub.add_parser(fig_id, help=description)
@@ -241,6 +251,21 @@ def _build_parser() -> argparse.ArgumentParser:
     race_parser.add_argument(
         "--sanitize", action="store_true",
         help="replay on the observation-only sanitizing simulator")
+
+    watch_parser = sub.add_parser(
+        "watch", help="live per-point scoreboard of a running sweep: "
+                      "tail the progress.jsonl ledger a --progress "
+                      "--cache-dir run writes next to its result cache")
+    watch_parser.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="the sweep's cache directory (same value passed to the "
+             "running command)")
+    watch_parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SEC",
+        help="poll interval in seconds (default: 2.0)")
+    watch_parser.add_argument(
+        "--once", action="store_true",
+        help="render the current scoreboard once and exit")
     return parser
 
 
@@ -280,15 +305,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if getattr(args, "faults", None):
         config = replace(config, faults=parse_fault_spec(args.faults))
     distribution = Fixed(us(args.service_us))
-    executor = _make_executor(args)
+    executor, ledger = _make_executor(args)
     _apply_sanitize_flag(args)
     start = time.perf_counter()  # repro: allow[wall-clock]
-    if executor is None:
-        metrics = run_point(factory, args.rate, distribution, config)
-    else:
-        metrics = executor.run_point(PointSpec(
-            factory=factory, rate_rps=args.rate, distribution=distribution,
-            config=config, label=args.system))
+    try:
+        if executor is None:
+            metrics = run_point(factory, args.rate, distribution, config)
+        else:
+            metrics = executor.run_point(PointSpec(
+                factory=factory, rate_rps=args.rate,
+                distribution=distribution, config=config,
+                label=args.system))
+    finally:
+        if ledger is not None:
+            ledger.write_done()
     elapsed = time.perf_counter() - start  # repro: allow[wall-clock]
     throughput = metrics.throughput
     print(f"{args.system} @ {args.rate / 1e3:.0f}k RPS offered, "
@@ -354,7 +384,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     _apply_sanitize_flag(args)
     options = BenchOptions(scale=args.scale, seed=args.seed,
                            jobs=args.jobs, cache_dir=args.cache_dir,
-                           fastpath=args.fastpath)
+                           fastpath=args.fastpath,
+                           progress=getattr(args, "progress", False))
     run = record_suite(args.suite, options, artifact_dir=args.artifact_dir)
     record = run.record
     print(f"bench {record.name}: {record.points} points, "
@@ -374,13 +405,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
-def _make_executor(args: argparse.Namespace) -> Optional[SweepExecutor]:
-    """The executor the flags ask for, or None for the plain path."""
+def _make_executor(args: argparse.Namespace,
+                   ) -> Tuple[Optional[SweepExecutor],
+                              Optional["ProgressLedger"]]:
+    """The executor (and progress ledger) the flags ask for.
+
+    Without ``--progress`` this is the historical behavior: an executor
+    only when ``--jobs``/``--cache-dir`` demand one, else ``(None,
+    None)`` for the plain serial path.  ``--progress`` always forces an
+    executor so every point flows through the event stream, attaches a
+    console printer, and — when a cache directory exists to anchor it —
+    opens the ``progress.jsonl`` ledger that ``repro watch`` tails.
+    The caller owns the returned ledger and must ``write_done()`` it
+    when the sweep finishes.
+    """
     jobs = getattr(args, "jobs", 1)
     cache_dir = getattr(args, "cache_dir", None)
-    if jobs <= 1 and cache_dir is None:
-        return None
-    return make_executor(jobs=jobs, cache_dir=cache_dir)
+    progress = getattr(args, "progress", False)
+    if not progress:
+        if jobs <= 1 and cache_dir is None:
+            return None, None
+        return make_executor(jobs=jobs, cache_dir=cache_dir), None
+    from repro.experiments.progress import (
+        ConsoleProgress,
+        ProgressLedger,
+        clear_ledger,
+        multiplex,
+    )
+    ledger = None
+    if cache_dir is not None:
+        clear_ledger(cache_dir)  # a stale ledger would confuse watchers
+        ledger = ProgressLedger.in_cache_dir(cache_dir)
+    on_event = multiplex(ConsoleProgress(), ledger)
+    return make_executor(jobs=jobs, cache_dir=cache_dir,
+                         on_event=on_event), ledger
 
 
 def _apply_sanitize_flag(args: argparse.Namespace) -> None:
@@ -509,6 +567,36 @@ def _cmd_race(args: argparse.Namespace) -> int:
     return 0 if all(r.ok(strict=args.strict) for r in reports) else 1
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Tail a sweep's progress ledger and render the live scoreboard.
+
+    Reads ``<cache-dir>/progress.jsonl`` (written by any ``--progress
+    --cache-dir`` run) from a separate process, so an operator can
+    observe a long sweep — partial curves included — without touching
+    the run itself.  Exits when the sweep's done sentinel lands, or
+    after one render with ``--once``.
+    """
+    from repro.experiments.progress import ProgressLedger, SweepProgress, \
+        ledger_path
+    if args.interval <= 0:
+        raise ExperimentError(f"interval must be positive: {args.interval}")
+    path = ledger_path(args.cache_dir)
+    last_rendered = None
+    last_seen = -1
+    while True:
+        events = ProgressLedger.read_events(path)
+        progress = SweepProgress().replay(events)
+        rendered = progress.render()
+        if rendered != last_rendered:
+            print(rendered)
+            print()
+            last_rendered = rendered
+        if args.once or progress.done:
+            return 0
+        # Operator-facing polling cadence; never feeds simulated state.
+        time.sleep(args.interval)  # repro: allow[wall-clock]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -527,6 +615,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"(repro race --permutations N)")
         print(f"  {'bench':9s} record perf artifacts "
               f"(repro bench --list)")
+        print(f"  {'watch':9s} live scoreboard of a --progress "
+              f"--cache-dir sweep")
         return 0
     if args.command == "systems":
         return _cmd_systems()
@@ -557,28 +647,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ReproError as exc:
             print(f"repro: {exc}", file=sys.stderr)
             return 2
+    if args.command == "watch":
+        try:
+            return _cmd_watch(args)
+        except ReproError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
     if args.command == "all":
         try:
-            executor = _make_executor(args)
+            executor, ledger = _make_executor(args)
         except ExperimentError as exc:
             print(f"repro: {exc}", file=sys.stderr)
             return 2
         _apply_sanitize_flag(args)
-        for fig_id in _FIGURE_DESCRIPTIONS:
-            _run_figure(fig_id, args.scale, args.seed, executor,
-                        fastpath=args.fastpath)
-            print()
+        try:
+            for fig_id in _FIGURE_DESCRIPTIONS:
+                _run_figure(fig_id, args.scale, args.seed, executor,
+                            fastpath=args.fastpath)
+                print()
+        finally:
+            if ledger is not None:
+                ledger.write_done()
         print(render_t1(table_t1(RunConfig(seed=args.seed))))
         return 0
     if args.command in ALL_FIGURES:
         try:
-            executor = _make_executor(args)
+            executor, ledger = _make_executor(args)
         except ExperimentError as exc:
             print(f"repro: {exc}", file=sys.stderr)
             return 2
         _apply_sanitize_flag(args)
-        _run_figure(args.command, args.scale, args.seed, executor,
-                    fastpath=args.fastpath)
+        try:
+            _run_figure(args.command, args.scale, args.seed, executor,
+                        fastpath=args.fastpath)
+        finally:
+            if ledger is not None:
+                ledger.write_done()
         return 0
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises

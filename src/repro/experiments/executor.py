@@ -49,6 +49,14 @@ from repro.experiments.harness import (
     SystemFactory,
     run_point_with_events,
 )
+from repro.experiments.progress import (
+    CACHE_HIT,
+    COMPLETED,
+    FAILED,
+    STARTED,
+    PointEvent,
+    ProgressCallback,
+)
 from repro.metrics.summary import (
     FaultSummary,
     LatencySummary,
@@ -333,26 +341,57 @@ class SweepExecutor:
 
     Subclasses override :meth:`_run_specs` to change *where* cache
     misses run; ordering and cache semantics live here so every
-    executor shares them exactly.
+    executor shares them exactly.  So does progress: every executor
+    emits one typed :class:`~repro.experiments.progress.PointEvent`
+    stream — started / completed / cache-hit / failed, completions
+    carrying the point's :class:`RunMetrics` — from *this* process,
+    even when the points themselves ran in workers.
     """
 
     #: Worker parallelism (1 for serial; informational for reporting).
     jobs: int = 1
 
-    def __init__(self, cache: Optional[ResultCache] = None):
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 on_event: Optional[ProgressCallback] = None):
         self.cache = cache
         self.stats = ExecutorStats()
+        #: Persistent progress subscriber (every ``run_points`` call).
+        self.on_event = on_event
+        self._seq = 0
+        self._batches = 0
 
-    def run_points(self, specs: Sequence[PointSpec]) -> List[RunMetrics]:
+    def run_points(self, specs: Sequence[PointSpec],
+                   on_event: Optional[ProgressCallback] = None,
+                   ) -> List[RunMetrics]:
         """Run every spec, returning metrics in the order given.
 
         Cached points are served without simulating; the rest run via
         :meth:`_run_specs`.  Each fresh point is written back to the
         cache the moment it completes — not at the end of the batch —
         so an interrupted sweep resumes from every finished point.
+
+        *on_event* subscribes to this batch's progress stream on top of
+        the executor-wide :attr:`on_event`; both see every event.
         """
         specs = list(specs)
         self.stats.points_total += len(specs)
+        batch = self._batches
+        self._batches += 1
+        subscribers = [callback for callback in (self.on_event, on_event)
+                       if callback is not None]
+
+        def emit(kind: str, i: int, metrics: Optional[RunMetrics] = None,
+                 error: Optional[str] = None) -> None:
+            if not subscribers:
+                return
+            self._seq += 1
+            event = PointEvent(
+                kind=kind, seq=self._seq, batch=batch, index=i,
+                total=len(specs), label=specs[i].label,
+                rate_rps=specs[i].rate_rps, metrics=metrics, error=error)
+            for callback in subscribers:
+                callback(event)
+
         results: List[Optional[RunMetrics]] = [None] * len(specs)
         misses: List[int] = []
         keys: List[Optional[str]] = [None] * len(specs)
@@ -363,6 +402,7 @@ class SweepExecutor:
             if hit is not None:
                 results[i] = hit
                 self.stats.points_cached += 1
+                emit(CACHE_HIT, i, metrics=hit)
             else:
                 misses.append(i)
 
@@ -374,9 +414,17 @@ class SweepExecutor:
             self.stats.events_executed += events
             if self.cache is not None and keys[i] is not None:
                 self.cache.put(keys[i], metrics)
+            emit(COMPLETED, i, metrics=metrics)
+
+        def started(batch_index: int) -> None:
+            emit(STARTED, misses[batch_index])
+
+        def failed(batch_index: int, error: BaseException) -> None:
+            emit(FAILED, misses[batch_index], error=str(error))
 
         if misses:
-            self._run_specs([specs[i] for i in misses], record)
+            self._run_specs([specs[i] for i in misses], record,
+                            started=started, failed=failed)
         return [result for result in results if result is not None]
 
     def run_point(self, spec: PointSpec) -> RunMetrics:
@@ -385,10 +433,24 @@ class SweepExecutor:
 
     def _run_specs(self, specs: Sequence[PointSpec],
                    record: Callable[[int, Tuple[RunMetrics, int]], None],
+                   started: Optional[Callable[[int], None]] = None,
+                   failed: Optional[Callable[[int, BaseException], None]] = None,
                    ) -> None:
-        """Run *specs*, reporting each ``(index, outcome)`` as it lands."""
+        """Run *specs*, reporting each ``(index, outcome)`` as it lands.
+
+        *started* fires when a spec is handed off for execution and
+        *failed* when its run raises (the exception still propagates).
+        """
         for j, spec in enumerate(specs):
-            record(j, _execute_spec(spec))
+            if started is not None:
+                started(j)
+            try:
+                outcome = _execute_spec(spec)
+            except Exception as exc:
+                if failed is not None:
+                    failed(j, exc)
+                raise
+            record(j, outcome)
 
 
 class SerialExecutor(SweepExecutor):
@@ -404,8 +466,9 @@ class ParallelExecutor(SweepExecutor):
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None):
-        super().__init__(cache=cache)
+                 cache: Optional[ResultCache] = None,
+                 on_event: Optional[ProgressCallback] = None):
+        super().__init__(cache=cache, on_event=on_event)
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -422,16 +485,41 @@ class ParallelExecutor(SweepExecutor):
 
     def _run_specs(self, specs: Sequence[PointSpec],
                    record: Callable[[int, Tuple[RunMetrics, int]], None],
+                   started: Optional[Callable[[int], None]] = None,
+                   failed: Optional[Callable[[int, BaseException], None]] = None,
                    ) -> None:
         remote = [i for i, spec in enumerate(specs) if self._picklable(spec)]
+
+        def run_local(i: int) -> None:
+            if started is not None:
+                started(i)
+            try:
+                outcome = _execute_spec(specs[i])
+            except Exception as exc:
+                if failed is not None:
+                    failed(i, exc)
+                raise
+            record(i, outcome)
+
         if len(remote) > 1 and self.jobs > 1:
             workers = min(self.jobs, len(remote))
             pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
             try:
-                futures = {pool.submit(_execute_spec, specs[i]): i
-                           for i in remote}
+                futures = {}
+                for i in remote:
+                    futures[pool.submit(_execute_spec, specs[i])] = i
+                    # Progress events always fire in *this* process —
+                    # the started event marks the handoff to a worker.
+                    if started is not None:
+                        started(i)
                 for future in concurrent.futures.as_completed(futures):
-                    record(futures[future], future.result())
+                    try:
+                        outcome = future.result()
+                    except Exception as exc:
+                        if failed is not None:
+                            failed(futures[future], exc)
+                        raise
+                    record(futures[future], outcome)
                 pool.shutdown(wait=True)
             except BaseException:
                 # On Ctrl-C (or a worker crash) don't join interrupted
@@ -443,23 +531,26 @@ class ParallelExecutor(SweepExecutor):
                 raise
         else:
             for i in remote:
-                record(i, _execute_spec(specs[i]))
+                run_local(i)
         # Unpicklable stragglers run in-process, after the fan-out.
         fanned_out = set(remote)
-        for i, spec in enumerate(specs):
+        for i in range(len(specs)):
             if i not in fanned_out:
-                record(i, _execute_spec(spec))
+                run_local(i)
 
 
 def make_executor(jobs: int = 1,
-                  cache_dir: Optional[Union[str, Path]] = None) -> SweepExecutor:
+                  cache_dir: Optional[Union[str, Path]] = None,
+                  on_event: Optional[ProgressCallback] = None,
+                  ) -> SweepExecutor:
     """Build the executor the CLI/benches ask for.
 
     ``jobs <= 1`` gives a :class:`SerialExecutor`; more gives a
     :class:`ParallelExecutor`.  ``cache_dir`` (optional) enables the
-    on-disk result cache in either case.
+    on-disk result cache in either case, and ``on_event`` (optional)
+    subscribes a progress callback to every sweep the executor runs.
     """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     if jobs <= 1:
-        return SerialExecutor(cache=cache)
-    return ParallelExecutor(jobs=jobs, cache=cache)
+        return SerialExecutor(cache=cache, on_event=on_event)
+    return ParallelExecutor(jobs=jobs, cache=cache, on_event=on_event)

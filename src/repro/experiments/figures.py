@@ -14,7 +14,7 @@ the shape criteria each figure is judged on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import (
     PreemptionConfig,
@@ -30,6 +30,9 @@ from repro.experiments.harness import (
 )
 from repro.units import us
 from repro.workload.distributions import BIMODAL_FIG2, Fixed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.progress import ProgressCallback
 
 #: Preemption disabled ("We turned off preemption for the fixed
 #: workloads", §4.1).
@@ -66,16 +69,18 @@ def _sweep_pair(shinjuku_config: ShinjukuConfig,
                 distribution, rates: Sequence[float],
                 config: RunConfig,
                 executor: Optional[SweepExecutor] = None,
+                on_event: Optional["ProgressCallback"] = None,
                 ) -> Tuple[LoadSweepResult, LoadSweepResult]:
     # By-name factories stay picklable + fingerprintable, so figure
     # sweeps can fan out across worker processes and land in the cache.
     shinjuku = load_sweep(
         ConfiguredFactory.by_name("shinjuku", shinjuku_config), rates,
-        distribution, config, system_name="Shinjuku", executor=executor)
+        distribution, config, system_name="Shinjuku", executor=executor,
+        on_event=on_event)
     offload = load_sweep(
         ConfiguredFactory.by_name("shinjuku-offload", offload_config), rates,
         distribution, config, system_name="Shinjuku-Offload",
-        executor=executor)
+        executor=executor, on_event=on_event)
     return shinjuku, offload
 
 
@@ -96,7 +101,8 @@ def _to_figure(figure_id: str, title: str, notes: str,
 
 def figure2(config: Optional[RunConfig] = None, scale: float = 1.0,
             rates: Optional[Sequence[float]] = None,
-            executor: Optional[SweepExecutor] = None) -> FigureResult:
+            executor: Optional[SweepExecutor] = None,
+            on_event: Optional["ProgressCallback"] = None) -> FigureResult:
     """Tail latency vs throughput for the Figure 2 bimodal workload.
 
     "Shinjuku has 3 workers and Shinjuku-Offload has 4 (up to 4
@@ -109,7 +115,8 @@ def figure2(config: Optional[RunConfig] = None, scale: float = 1.0,
         ShinjukuConfig(workers=3, preemption=SLICE_10US),
         ShinjukuOffloadConfig(workers=4, outstanding_per_worker=4,
                               preemption=SLICE_10US),
-        BIMODAL_FIG2, rates, run_config, executor=executor)
+        BIMODAL_FIG2, rates, run_config, executor=executor,
+        on_event=on_event)
     return _to_figure(
         "fig2",
         "99.5% 5us / 0.5% 100us bimodal; slice 10us; 3 vs 4 workers",
@@ -126,7 +133,8 @@ def figure3(config: Optional[RunConfig] = None, scale: float = 1.0,
             outstanding: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
             worker_counts: Sequence[int] = (16, 4),
             overload_rps: float = 2.5e6,
-            executor: Optional[SweepExecutor] = None) -> FigureResult:
+            executor: Optional[SweepExecutor] = None,
+            on_event: Optional["ProgressCallback"] = None) -> FigureResult:
     """Offload saturation throughput vs outstanding requests per worker.
 
     "Fixed 1 µs service time.  Shinjuku-Offload [with 4 and 16
@@ -144,7 +152,7 @@ def figure3(config: Optional[RunConfig] = None, scale: float = 1.0,
         capacities = {
             cell: measure_capacity(factories[cell], Fixed(us(1.0)),
                                    overload_rps=overload_rps,
-                                   config=run_config)
+                                   config=run_config, on_event=on_event)
             for cell in grid}
     else:
         # One batch for the whole grid, so a parallel executor fans the
@@ -154,7 +162,7 @@ def figure3(config: Optional[RunConfig] = None, scale: float = 1.0,
                            distribution=Fixed(us(1.0)), config=run_config,
                            label=f"Shinjuku-Offload/{cell[0]}w")
                  for cell in grid]
-        results = executor.run_points(specs)
+        results = executor.run_points(specs, on_event=on_event)
         capacities = {cell: metrics.throughput.achieved_rps
                       for cell, metrics in zip(grid, results)}
     series: List[FigureSeries] = []
@@ -178,7 +186,8 @@ def figure3(config: Optional[RunConfig] = None, scale: float = 1.0,
 
 def figure4(config: Optional[RunConfig] = None, scale: float = 1.0,
             rates: Optional[Sequence[float]] = None,
-            executor: Optional[SweepExecutor] = None) -> FigureResult:
+            executor: Optional[SweepExecutor] = None,
+            on_event: Optional["ProgressCallback"] = None) -> FigureResult:
     """Tail vs throughput at fixed 5 µs (§4.1's second workload)."""
     run_config = (config if config is not None else RunConfig()).scaled(scale)
     if rates is None:
@@ -188,7 +197,8 @@ def figure4(config: Optional[RunConfig] = None, scale: float = 1.0,
         ShinjukuConfig(workers=3, preemption=NO_PREEMPTION),
         ShinjukuOffloadConfig(workers=4, outstanding_per_worker=4,
                               preemption=NO_PREEMPTION),
-        Fixed(us(5.0)), rates, run_config, executor=executor)
+        Fixed(us(5.0)), rates, run_config, executor=executor,
+        on_event=on_event)
     return _to_figure(
         "fig4", "Fixed 5us; no preemption; 3 vs 4 workers",
         "Expected shape: Offload outperforms - its extra worker is the "
@@ -202,7 +212,8 @@ def figure4(config: Optional[RunConfig] = None, scale: float = 1.0,
 
 def figure5(config: Optional[RunConfig] = None, scale: float = 1.0,
             rates: Optional[Sequence[float]] = None,
-            executor: Optional[SweepExecutor] = None) -> FigureResult:
+            executor: Optional[SweepExecutor] = None,
+            on_event: Optional["ProgressCallback"] = None) -> FigureResult:
     """Tail vs throughput at fixed 100 µs (§4.1's third workload)."""
     # Long services need a longer window for stable p99s.
     run_config = (config if config is not None
@@ -213,7 +224,8 @@ def figure5(config: Optional[RunConfig] = None, scale: float = 1.0,
         ShinjukuConfig(workers=15, preemption=NO_PREEMPTION),
         ShinjukuOffloadConfig(workers=16, outstanding_per_worker=2,
                               preemption=NO_PREEMPTION),
-        Fixed(us(100.0)), rates, run_config, executor=executor)
+        Fixed(us(100.0)), rates, run_config, executor=executor,
+        on_event=on_event)
     return _to_figure(
         "fig5", "Fixed 100us; 15 vs 16 workers (<=2 outstanding)",
         "Expected shape: Offload wins at large service times - "
@@ -227,7 +239,8 @@ def figure5(config: Optional[RunConfig] = None, scale: float = 1.0,
 
 def figure6(config: Optional[RunConfig] = None, scale: float = 1.0,
             rates: Optional[Sequence[float]] = None,
-            executor: Optional[SweepExecutor] = None) -> FigureResult:
+            executor: Optional[SweepExecutor] = None,
+            on_event: Optional["ProgressCallback"] = None) -> FigureResult:
     """Tail vs throughput at fixed 1 µs — the bottleneck figure (§5.1)."""
     run_config = (config if config is not None else RunConfig()).scaled(scale)
     if rates is None:
@@ -237,7 +250,8 @@ def figure6(config: Optional[RunConfig] = None, scale: float = 1.0,
         ShinjukuConfig(workers=15, preemption=NO_PREEMPTION),
         ShinjukuOffloadConfig(workers=16, outstanding_per_worker=5,
                               preemption=NO_PREEMPTION),
-        Fixed(us(1.0)), rates, run_config, executor=executor)
+        Fixed(us(1.0)), rates, run_config, executor=executor,
+        on_event=on_event)
     return _to_figure(
         "fig6", "Fixed 1us; 15 vs 16 workers (<=5 outstanding)",
         "Expected shape: Shinjuku greatly outperforms - the ARM "

@@ -7,6 +7,7 @@ independently seeded universe.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
@@ -40,6 +41,7 @@ from repro.workload.generator import ClientPool, OpenLoopLoadGenerator
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.executor import SweepExecutor
     from repro.experiments.fastpath import FastPathConfig
+    from repro.experiments.progress import ProgressCallback
 
 SystemFactory = Callable[[Simulator, RngRegistry, MetricsCollector], BaseSystem]
 
@@ -140,6 +142,7 @@ def run_point_with_events(factory: SystemFactory, rate_rps: float,
                           clients: Optional[ClientPool] = None,
                           sanitize: Optional[bool] = None,
                           tiebreak: Optional[TieBreakPolicy] = None,
+                          exact_reductions: bool = False,
                           ) -> Tuple[RunMetrics, int]:
     """Run one point and return (metrics, simulator events executed).
 
@@ -159,6 +162,11 @@ def run_point_with_events(factory: SystemFactory, rate_rps: float,
     schedule-permutation fuzzer (``repro race``) drives this seam —
     results must be bit-identical under any policy for a system free of
     tie-break races.
+
+    ``exact_reductions`` runs the collector with exactly rounded
+    (:func:`math.fsum`) wait summation instead of the digest-pinned
+    canonical-order accumulation; the fuzzer enables it so float
+    reassociation cannot masquerade as a schedule race.
     """
     if config is None:
         config = RunConfig()
@@ -186,7 +194,8 @@ def run_point_with_events(factory: SystemFactory, rate_rps: float,
         sim = Simulator()
     if tiebreak is not None:
         sim.set_tiebreak(tiebreak)
-    metrics = MetricsCollector(sim, warmup_ns=config.warmup_ns)
+    metrics = MetricsCollector(sim, warmup_ns=config.warmup_ns,
+                               exact_reductions=exact_reductions)
     system = factory(sim, rngs, metrics)
     plan = config.faults
     if plan is not None and not plan.is_null:
@@ -223,11 +232,61 @@ def run_point(factory: SystemFactory, rate_rps: float,
     return metrics
 
 
+#: Batch/sequence numbering for progress events emitted without an
+#: executor (the inline serial path) — keeps (batch, index) keys unique
+#: across successive sweeps feeding one subscriber.
+_INLINE_BATCHES = itertools.count()
+_INLINE_SEQ = itertools.count(1)
+
+
+def _run_inline(factory: SystemFactory, rates_rps: Sequence[float],
+                distribution: ServiceTimeDistribution, config: RunConfig,
+                system_name: str,
+                on_event: "ProgressCallback") -> List[RunMetrics]:
+    """The executor-less serial loop, with progress events."""
+    from repro.experiments.progress import (
+        COMPLETED,
+        FAILED,
+        STARTED,
+        PointEvent,
+    )
+    batch = next(_INLINE_BATCHES)
+    total = len(rates_rps)
+
+    def emit(kind: str, index: int, rate: float,
+             metrics: Optional[RunMetrics] = None,
+             error: Optional[str] = None) -> None:
+        on_event(PointEvent(kind=kind, seq=next(_INLINE_SEQ), batch=batch,
+                            index=index, total=total, label=system_name,
+                            rate_rps=rate, metrics=metrics, error=error))
+
+    results: List[RunMetrics] = []
+    for index, rate in enumerate(rates_rps):
+        emit(STARTED, index, rate)
+        try:
+            metrics = run_point(factory, rate, distribution, config)
+        except Exception as exc:
+            emit(FAILED, index, rate, error=str(exc))
+            raise
+        emit(COMPLETED, index, rate, metrics=metrics)
+        results.append(metrics)
+    return results
+
+
 def _run_batch(factory: SystemFactory, rates_rps: Sequence[float],
                distribution: ServiceTimeDistribution, config: RunConfig,
                system_name: str,
-               executor: Optional["SweepExecutor"]) -> List[RunMetrics]:
-    """One metrics list for *rates_rps*, via *executor* when given."""
+               executor: Optional["SweepExecutor"],
+               on_event: Optional["ProgressCallback"] = None,
+               ) -> List[RunMetrics]:
+    """One metrics list for *rates_rps*, via *executor* when given.
+
+    *on_event* subscribes to the batch's progress stream: forwarded to
+    the executor when one is given, emitted inline otherwise.  The
+    fast-path branch runs its exact probes through the executor, so an
+    executor-wide subscriber still sees those; a per-batch *on_event*
+    only covers exact batches.
+    """
     if config.fastpath is not None and len(rates_rps) > 1:
         plan = config.faults
         if plan is None or plan.is_null:
@@ -236,6 +295,9 @@ def _run_batch(factory: SystemFactory, rates_rps: Sequence[float],
                                       config, system_name, executor)
         config = replace(config, fastpath=None)
     if executor is None:
+        if on_event is not None:
+            return _run_inline(factory, rates_rps, distribution, config,
+                               system_name, on_event)
         return [run_point(factory, rate, distribution, config)
                 for rate in rates_rps]
     from repro.experiments.executor import PointSpec
@@ -243,26 +305,30 @@ def _run_batch(factory: SystemFactory, rates_rps: Sequence[float],
                        distribution=distribution, config=config,
                        label=system_name)
              for rate in rates_rps]
-    return executor.run_points(specs)
+    return executor.run_points(specs, on_event=on_event)
 
 
 def load_sweep(factory: SystemFactory, rates_rps: Sequence[float],
                distribution: ServiceTimeDistribution,
                config: Optional[RunConfig] = None,
                system_name: str = "system",
-               executor: Optional["SweepExecutor"] = None) -> LoadSweepResult:
+               executor: Optional["SweepExecutor"] = None,
+               on_event: Optional["ProgressCallback"] = None,
+               ) -> LoadSweepResult:
     """Run *factory* at each offered rate; one fresh simulator each.
 
     With an *executor*, points may run in parallel worker processes
     and/or be served from its result cache; ``points`` stay in
-    offered-rate order either way.
+    offered-rate order either way.  *on_event* streams per-point
+    progress (see :mod:`repro.experiments.progress`) with or without
+    an executor.
     """
     if config is None:
         config = RunConfig()
     if not rates_rps:
         raise ExperimentError("empty rate list")
     all_metrics = _run_batch(factory, rates_rps, distribution, config,
-                             system_name, executor)
+                             system_name, executor, on_event=on_event)
     points = [SweepPoint(offered_rps=rate, metrics=metrics)
               for rate, metrics in zip(rates_rps, all_metrics)]
     return LoadSweepResult(system_name=system_name, points=points)
@@ -273,7 +339,8 @@ def measure_capacity(factory: SystemFactory,
                      overload_rps: float,
                      config: Optional[RunConfig] = None,
                      system_name: str = "system",
-                     executor: Optional["SweepExecutor"] = None) -> float:
+                     executor: Optional["SweepExecutor"] = None,
+                     on_event: Optional["ProgressCallback"] = None) -> float:
     """Achieved throughput under heavy overload — the plateau value.
 
     This is how Figure 3's y-axis is measured: offer far more than the
@@ -282,7 +349,7 @@ def measure_capacity(factory: SystemFactory,
     if config is None:
         config = RunConfig()
     metrics = _run_batch(factory, [overload_rps], distribution, config,
-                         system_name, executor)[0]
+                         system_name, executor, on_event=on_event)[0]
     return metrics.throughput.achieved_rps
 
 
@@ -323,6 +390,7 @@ def find_saturation(factory: SystemFactory,
                     iterations: int = 7,
                     system_name: str = "system",
                     executor: Optional["SweepExecutor"] = None,
+                    on_event: Optional["ProgressCallback"] = None,
                     ) -> SaturationResult:
     """Binary-search the saturation knee between *lo_rps* and *hi_rps*.
 
@@ -340,7 +408,7 @@ def find_saturation(factory: SystemFactory,
     for _ in range(iterations):
         mid = (lo + hi) / 2.0
         metrics = _run_batch(factory, [mid], distribution, config,
-                             system_name, executor)[0]
+                             system_name, executor, on_event=on_event)[0]
         probes[mid] = metrics
         if metrics.throughput.achieved_rps >= efficiency * mid:
             best = mid

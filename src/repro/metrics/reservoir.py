@@ -4,6 +4,13 @@ Simulation runs complete at most a few hundred thousand requests, so we
 keep every sample and compute exact percentiles — no sketch error in
 the tail, which matters when the statistic of record is p99 ("we refer
 to the 99th percentile latency as the tail latency", §4).
+
+Reservoirs are mergeable (:class:`~repro.metrics.scope.MergeableCollector`):
+every reported statistic is a function of the sorted sample multiset,
+so folding two reservoirs is exactly equivalent to one reservoir having
+recorded both sample streams, regardless of recording or merge order.
+The sorted view is computed once per mutation epoch and cached; ``add``,
+``extend``, and ``merge_from`` all invalidate it.
 """
 
 from __future__ import annotations
@@ -31,6 +38,24 @@ class LatencyReservoir:
         """Record many samples at once."""
         self._samples.extend(values)
         self._sorted = None
+
+    # -- merging -----------------------------------------------------------
+
+    def merge_from(self, other: "LatencyReservoir") -> None:
+        """Fold *other*'s samples into this reservoir.
+
+        Equivalent to having recorded both sample streams into one
+        reservoir: every statistic reads from the sorted multiset, so
+        the result is bit-identical however the samples were split.
+        """
+        self._samples.extend(other._samples)
+        self._sorted = None
+
+    def merged(self, other: "LatencyReservoir") -> "LatencyReservoir":
+        """A new reservoir holding both inputs' samples."""
+        result = LatencyReservoir()
+        result._samples = self._samples + other._samples
+        return result
 
     def __len__(self) -> int:
         return len(self._samples)

@@ -1,10 +1,20 @@
-"""Bucketed time series for rate-over-time diagnostics."""
+"""Bucketed time series for rate-over-time diagnostics.
+
+Time series are mergeable
+(:class:`~repro.metrics.scope.MergeableCollector`): two series with the
+same bucket width fold by aligned-bucket addition — bucket *i* of the
+merge is the sum of both inputs' bucket *i* — which is exactly what one
+series would have counted had it seen both event streams.  Merging
+series with different bucket widths is refused rather than resampled;
+a lossy merge would silently break the merge-≡-monolithic guarantee.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
 from repro.errors import ExperimentError
+from repro.metrics.scope import check_mergeable
 from repro.units import SEC
 
 
@@ -25,6 +35,22 @@ class TimeSeries:
         """Add *count* events at *time_ns*."""
         index = int(time_ns // self.bucket_ns)
         self._buckets[index] = self._buckets.get(index, 0) + count
+
+    # -- merging -----------------------------------------------------------
+
+    def merge_from(self, other: "TimeSeries") -> None:
+        """Fold *other* into this series by aligned-bucket addition."""
+        check_mergeable("bucket widths", self.bucket_ns, other.bucket_ns)
+        buckets = self._buckets
+        for index in sorted(other._buckets):
+            buckets[index] = buckets.get(index, 0) + other._buckets[index]
+
+    def merged(self, other: "TimeSeries") -> "TimeSeries":
+        """A new series counting both inputs' events."""
+        result = TimeSeries(self.bucket_ns)
+        result.merge_from(self)
+        result.merge_from(other)
+        return result
 
     def buckets(self) -> List[Tuple[float, int]]:
         """``(bucket_start_ns, count)`` pairs in time order."""

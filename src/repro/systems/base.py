@@ -6,8 +6,11 @@ harness:
 - :meth:`BaseSystem.start` — spawn its processes (call before run);
 - :meth:`BaseSystem.ingress` — accept one client request (the load
   generator's callback);
-- completions/drops land in the shared
-  :class:`~repro.metrics.collector.MetricsCollector`.
+- completions/drops land in this system's *host scope*: a child of the
+  run-level :class:`~repro.metrics.collector.MetricsCollector` the
+  harness hands in.  Scoped recording rolls up, so the run-level
+  collector still sees everything (bit-identically — the golden suites
+  pin it), while per-host/per-worker breakdowns come for free.
 
 The client<->server wire (ToR switch + cables) is a fixed one-way
 latency charged on ingress and on the response, identical across
@@ -56,7 +59,12 @@ class BaseSystem:
             raise SimulationError(f"negative client wire: {client_wire_ns}")
         self.sim = sim
         self.rngs = rngs
-        self.metrics = metrics
+        #: The run-level collector the harness owns (arrivals land
+        #: here; the fault injector pins its counters here).
+        self.run_metrics = metrics
+        #: This system's host scope — all completions/drops record
+        #: here and roll up into :attr:`run_metrics`.
+        self.metrics = metrics.scoped(self.name)
         self.client_wire_ns = client_wire_ns
         self.tracer = tracer
         self.workers: List[WorkerCore] = []

@@ -45,6 +45,7 @@ from repro.sim.primitives import Signal, Store
 from repro.systems.base import NotifyMessage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metrics.collector import MetricsCollector
     from repro.sim.engine import Simulator
     from repro.sim.trace import Tracer
     from repro.systems.base import BaseSystem
@@ -195,12 +196,18 @@ class HostShinjukuPipeline:
                  rx_ring_depth: int = RX_RING_DEPTH,
                  tracer: Optional["Tracer"] = None,
                  tracer_scope: Optional[str] = None,
-                 on_drop: Optional[Callable[[Request], None]] = None):
+                 on_drop: Optional[Callable[[Request], None]] = None,
+                 metrics: Optional["MetricsCollector"] = None):
         self.sim = sim
         self.costs = costs
         self.respond = respond
         self.on_drop = on_drop
         self.name = name
+        #: This pipeline's metric scope (a child of the owning system's
+        #: host scope) — per-shard breakdowns for sharded systems.  The
+        #: roll-up deduplicates workers, so registering the subset here
+        #: on top of the host-level registration never double-counts.
+        self.metrics = metrics
         self.policy = policy if policy is not None else CentralizedFifoPolicy()
         self.tracer = tracer
         self.tracer_scope = tracer_scope if tracer_scope is not None else name
@@ -224,6 +231,8 @@ class HostShinjukuPipeline:
     def attach_workers(self, workers: Sequence[WorkerCore]) -> None:
         """Bind the worker subset this pipeline dispatches to."""
         self.workers = list(workers)
+        if self.metrics is not None:
+            self.metrics.attach_workers(self.workers)
         self.mailboxes = [
             Store(self.sim, capacity=self.mailbox_depth,
                   name=f"{self.name}-mbox{i}")

@@ -108,7 +108,8 @@ class ShardedShinjukuSystem(BaseSystem):
             self.workers.extend(shard_workers)
             shard = _Shard(sim, self.machine, self.costs,
                            respond=self.respond, name=f"shard{shard_index}",
-                           mailbox_depth=1, on_drop=self.drop)
+                           mailbox_depth=1, on_drop=self.drop,
+                           metrics=self.metrics.scoped(f"shard{shard_index}"))
             shard.attach_workers(shard_workers)
             self.shards.append(shard)
 

@@ -67,7 +67,7 @@ class ShinjukuSystem(BaseSystem):
             name=self.name, policy=policy,
             mailbox_depth=config.worker_mailbox_depth,
             tracer=tracer, tracer_scope=self.name,
-            on_drop=self.drop)
+            on_drop=self.drop, metrics=self.metrics)
         self.workers = spawn_worker_pool(
             sim, self.machine, config.workers, self.costs,
             preemption=config.preemption)

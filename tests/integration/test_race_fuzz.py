@@ -79,18 +79,39 @@ class TestFuzzSystems:
         assert all(o.digest == report.identity_digest
                    for o in report.outcomes)
 
-    def test_rpcvalet_reassociates_but_does_not_diverge(self):
+    def test_rpcvalet_is_invariant_under_exact_reductions(self):
         """Symmetric workers swap idle intervals under permutation; the
-        interval multiset is invariant but per-worker float summation
-        rounds differently — reassociated, never divergent."""
+        interval multiset is invariant, and with the fuzzer's exactly
+        rounded wait summation the full metrics image is bit-identical
+        — invariant, not merely reassociated."""
         report = fuzz_system("rpcvalet", permutations=3, scale=0.05,
                              rate_rps=400e3)
-        assert report.verdict == VERDICT_REASSOCIATED
+        assert report.verdict == VERDICT_INVARIANT
         assert report.ok()
-        assert not report.ok(strict=True)
-        drifting = {d.field for o in report.outcomes for d in o.drifts}
-        assert drifting <= {"worker_wait_fraction"}
-        assert not any(o.diffs for o in report.outcomes)
+        assert report.ok(strict=True)
+        assert all(o.digest == report.identity_digest
+                   for o in report.outcomes)
+
+    def test_rpcvalet_wait_sum_reassociates_without_exact_reductions(self):
+        """The production path's canonical-order summation (pinned by
+        the published digests) is what used to read as 'reassociated':
+        permuted workers hand the same wait totals to the sum in a
+        different order and the last ulp moves.  Pin that diagnosis so
+        the digest-vs-invariance tradeoff stays documented."""
+        from repro.experiments.executor import metrics_to_jsonable
+        factory = ConfiguredFactory.by_name("rpcvalet")
+        config = RunConfig(seed=7).scaled(0.1)
+        dist = Fixed(us(2.0))
+        images = []
+        for index in (0, 2):
+            metrics, _events = run_point_with_events(
+                factory, 800e3, dist, config,
+                tiebreak=permutation_policy(index, 0))
+            images.append(metrics_to_jsonable(metrics))
+        verdict, drifts, diffs = compare_metrics_images(*images)
+        assert verdict == VERDICT_REASSOCIATED
+        assert {d.field for d in drifts} == {"worker_wait_fraction"}
+        assert not diffs
 
     def test_injection_diverges_every_permutation(self):
         report = fuzz_injected(permutations=4)

@@ -73,3 +73,42 @@ class TestReservoir:
         samples = res.samples()
         samples[0] = 999.0
         assert res.minimum() == 1.0
+
+
+class TestSortedViewCache:
+    """percentile() reads a cached sorted view; mutation invalidates it."""
+
+    def test_repeated_percentiles_identical_without_resort(self):
+        res = LatencyReservoir()
+        res.extend([5.0, 1.0, 9.0, 3.0, 7.0])
+        first = [res.percentile(p) for p in (0, 25, 50, 75, 99, 100)]
+        # The cached view is built once and reused across reads.
+        view = res._view()
+        assert res._view() is view
+        second = [res.percentile(p) for p in (0, 25, 50, 75, 99, 100)]
+        assert first == second
+
+    def test_add_invalidates_cache(self):
+        res = LatencyReservoir()
+        res.extend([2.0, 4.0])
+        assert res.percentile(100.0) == 4.0
+        res.add(6.0)
+        assert res.percentile(100.0) == 6.0
+
+    def test_extend_invalidates_cache(self):
+        res = LatencyReservoir()
+        res.add(10.0)
+        assert res.percentile(50.0) == 10.0
+        res.extend([1.0, 2.0])
+        assert res.percentile(0.0) == 1.0
+
+    def test_merge_from_invalidates_cache(self):
+        res = LatencyReservoir()
+        res.extend([5.0, 15.0])
+        assert res.maximum() == 15.0
+        other = LatencyReservoir()
+        other.extend([25.0, 1.0])
+        res.merge_from(other)
+        assert res.maximum() == 25.0
+        assert res.minimum() == 1.0
+        assert len(res) == 4
