@@ -98,6 +98,15 @@ class BenchOptions:
     #: progress-off records stay comparable (the bench-guard suite
     #: verifies the overhead stays inside the slowdown threshold).
     progress: bool = False
+    #: Run sweep points under :class:`SupervisedExecutor` (per-point
+    #: deadlines, retry, crash isolation).  Like ``progress``, NOT part
+    #: of the comparability fingerprint: supervision observes and
+    #: restarts the same deterministic points, so a supervised record
+    #: must reproduce the unsupervised metrics digest bit-for-bit and
+    #: stay inside the slowdown threshold against the committed
+    #: trajectory — that identity is exactly what the bench guard
+    #: asserts.
+    supervised: bool = False
 
     def __post_init__(self):
         if self.scale <= 0:
@@ -142,6 +151,7 @@ def capture_environment(options: BenchOptions) -> Dict[str, Any]:
         "scale": options.scale,
         "seed": options.seed,
         "fastpath": options.fastpath,
+        "supervised": options.supervised,
     }
 
 

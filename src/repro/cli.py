@@ -19,6 +19,8 @@ terminal::
     repro race --inject        # self-test on a planted race
     repro fig2 --progress --cache-dir d   # stream per-point progress
     repro watch --cache-dir d  # live scoreboard of that sweep
+    repro fig2 --supervised --point-timeout 120   # crash-safe workers
+    repro fig2 --cache-dir d --resume     # finish an interrupted sweep
 """
 
 from __future__ import annotations
@@ -118,6 +120,28 @@ def _build_parser() -> argparse.ArgumentParser:
             help="stream per-point progress events (started/completed/"
                  "cache-hit/failed) as the sweep runs; with --cache-dir, "
                  "also write a progress.jsonl ledger 'repro watch' tails")
+        cmd_parser.add_argument(
+            "--supervised", action="store_true",
+            help="run points in crash-isolated worker processes with a "
+                 "watchdog and bounded-backoff retries (results stay "
+                 "bit-identical; one poisoned point degrades to a "
+                 "recorded failure instead of aborting the sweep)")
+        cmd_parser.add_argument(
+            "--point-timeout", type=float, default=None, metavar="SEC",
+            dest="point_timeout",
+            help="per-point wall-clock deadline; a hung worker is "
+                 "killed and the point retried (implies --supervised)")
+        cmd_parser.add_argument(
+            "--max-retries", type=int, default=None, metavar="N",
+            dest="max_retries",
+            help="extra attempts after a point's first failure "
+                 "(default: 2; implies --supervised)")
+        cmd_parser.add_argument(
+            "--resume", action="store_true",
+            help="resume an interrupted sweep: serve points already "
+                 "settled in the result cache or the progress.jsonl "
+                 "ledger, re-execute only the remainder (requires "
+                 "--cache-dir; implies --supervised)")
 
     for fig_id, description in _FIGURE_DESCRIPTIONS.items():
         fig_parser = sub.add_parser(fig_id, help=description)
@@ -385,7 +409,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     options = BenchOptions(scale=args.scale, seed=args.seed,
                            jobs=args.jobs, cache_dir=args.cache_dir,
                            fastpath=args.fastpath,
-                           progress=getattr(args, "progress", False))
+                           progress=getattr(args, "progress", False),
+                           supervised=getattr(args, "supervised", False))
     run = record_suite(args.suite, options, artifact_dir=args.artifact_dir)
     record = run.record
     print(f"bench {record.name}: {record.points} points, "
@@ -422,10 +447,30 @@ def _make_executor(args: argparse.Namespace,
     jobs = getattr(args, "jobs", 1)
     cache_dir = getattr(args, "cache_dir", None)
     progress = getattr(args, "progress", False)
-    if not progress:
-        if jobs <= 1 and cache_dir is None:
+    resume = getattr(args, "resume", False)
+    point_timeout = getattr(args, "point_timeout", None)
+    max_retries = getattr(args, "max_retries", None)
+    supervised = (getattr(args, "supervised", False) or resume
+                  or point_timeout is not None or max_retries is not None)
+    if resume and cache_dir is None:
+        raise ExperimentError("--resume requires --cache-dir (the cache "
+                              "and its progress ledger are the "
+                              "checkpoint being resumed)")
+    resume_replay = None
+    if resume:
+        from repro.experiments.progress import ProgressLedger, ledger_path
+        resume_replay = ProgressLedger.replay(ledger_path(cache_dir))
+        print(f"[resume: {len(resume_replay.completed)} point(s) settled "
+              f"by the previous run"
+              + ("" if resume_replay.finished
+                 else " (interrupted: no done sentinel)") + "]")
+    if not progress and not resume:
+        if jobs <= 1 and cache_dir is None and not supervised:
             return None, None
-        return make_executor(jobs=jobs, cache_dir=cache_dir), None
+        return make_executor(jobs=jobs, cache_dir=cache_dir,
+                             supervised=supervised,
+                             point_timeout_s=point_timeout,
+                             max_retries=max_retries), None
     from repro.experiments.progress import (
         ConsoleProgress,
         ProgressLedger,
@@ -434,11 +479,18 @@ def _make_executor(args: argparse.Namespace,
     )
     ledger = None
     if cache_dir is not None:
-        clear_ledger(cache_dir)  # a stale ledger would confuse watchers
+        if not resume:
+            clear_ledger(cache_dir)  # stale ledgers would confuse watchers
+        # A resumed sweep appends to the existing ledger (its replay is
+        # already in hand), so a second interruption still resumes.
         ledger = ProgressLedger.in_cache_dir(cache_dir)
-    on_event = multiplex(ConsoleProgress(), ledger)
+    console = ConsoleProgress() if progress else None
+    on_event = multiplex(console, ledger)
     return make_executor(jobs=jobs, cache_dir=cache_dir,
-                         on_event=on_event), ledger
+                         on_event=on_event, supervised=supervised,
+                         point_timeout_s=point_timeout,
+                         max_retries=max_retries,
+                         resume_from=resume_replay), ledger
 
 
 def _apply_sanitize_flag(args: argparse.Namespace) -> None:

@@ -81,6 +81,81 @@ class ExperimentError(ReproError):
     """A failure while running an experiment harness."""
 
 
+class SweepPointError(ExperimentError):
+    """One sweep point failed to produce a result.
+
+    Carries everything needed to triage (or retry) the point without
+    the original spec in hand: the system label, the offered rate, the
+    run config, how many attempts were made, and the underlying cause.
+    ``kind`` is the failure-taxonomy tag — one of ``"crash"``,
+    ``"timeout"``, ``"exception"``, or ``"cache-corruption"`` — matched
+    by the subclasses below.
+    """
+
+    #: Taxonomy tag; subclasses override.
+    kind = "exception"
+
+    def __init__(self, message, *, label="system", rate_rps=0.0,
+                 attempts=1, config=None, cause=None):
+        super().__init__(message)
+        self.label = label
+        self.rate_rps = rate_rps
+        self.attempts = attempts
+        self.config = config
+        self.cause = cause
+
+    def describe(self):
+        """One operator-facing line: taxonomy, point identity, attempts."""
+        return (f"[{self.kind}] {self.label} @{self.rate_rps:g} RPS "
+                f"after {self.attempts} attempt(s): {self}")
+
+
+class PointCrashError(SweepPointError):
+    """A worker process died (killed, OOMed, or segfaulted) mid-point."""
+
+    kind = "crash"
+
+
+class PointTimeoutError(SweepPointError):
+    """A point exceeded its wall-clock deadline and was killed."""
+
+    kind = "timeout"
+
+
+class PointExecutionError(SweepPointError):
+    """The point's own code raised while simulating."""
+
+    kind = "exception"
+
+
+class CacheCorruptionError(SweepPointError):
+    """A cached result entry was corrupt (torn, truncated, bit-flipped).
+
+    Raised only by a strict-mode :class:`~repro.experiments.executor.
+    ResultCache`; the default cache quarantines the entry and reads it
+    as a miss instead, so sweeps recompute transparently.
+    """
+
+    kind = "cache-corruption"
+
+
+class SweepFailure(ExperimentError):
+    """A sweep finished with one or more permanently failed points.
+
+    Raised *after* every other point has completed (and been cached),
+    so a re-run or ``--resume`` only pays for the failed points.
+    ``failures`` holds the per-point :class:`SweepPointError`\\ s.
+    """
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        lines = [failure.describe() for failure in self.failures]
+        super().__init__(
+            f"{len(self.failures)} sweep point(s) permanently failed "
+            f"(all other points completed and were cached):\n  "
+            + "\n  ".join(lines))
+
+
 class AnalysisError(ReproError):
     """A failure inside the static-analysis (lint) tooling itself."""
 

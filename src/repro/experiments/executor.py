@@ -43,7 +43,14 @@ from typing import (
     Union,
 )
 
-from repro.errors import ConfigError, ExperimentError
+from repro.errors import (
+    CacheCorruptionError,
+    ConfigError,
+    ExperimentError,
+    PointCrashError,
+    PointExecutionError,
+    SweepPointError,
+)
 from repro.experiments.harness import (
     RunConfig,
     SystemFactory,
@@ -74,7 +81,9 @@ from repro.workload.distributions import ServiceTimeDistribution
 #: Schema 3: the fast-path config joins the key payload (approximate
 #: and exact results must never share an entry) and provenance tags
 #: join the stored metrics.
-CACHE_SCHEMA = 3
+#: Schema 4: a content checksum joins the stored entry, verified on
+#: every read; entries that fail it are quarantined, never trusted.
+CACHE_SCHEMA = 4
 
 
 # ---------------------------------------------------------------------------
@@ -249,17 +258,53 @@ def metrics_from_jsonable(data: Dict[str, Any]) -> RunMetrics:
 # On-disk result cache
 # ---------------------------------------------------------------------------
 
+#: Where corrupt entries are moved inside a cache root (their suffix is
+#: changed so they never count as, or collide with, live entries).
+QUARANTINE_DIRNAME = "quarantine"
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One corrupt cache entry that was moved aside instead of trusted."""
+
+    key: str
+    reason: str
+    #: Where the corrupt bytes now live (None if the move itself failed
+    #: and the entry was unlinked instead).
+    path: Optional[Path]
+
+
+def _entry_checksum(metrics_jsonable: Dict[str, Any]) -> str:
+    """The integrity checksum stored beside a cache entry's metrics."""
+    payload = json.dumps(metrics_jsonable, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """Content-addressed store of point results under one directory.
 
     Layout: ``<root>/<key[:2]>/<key>.json`` — two-level fanout keeps
     directories small for big sweeps.  Writes are atomic (tempfile +
-    rename) so interrupted runs never leave half-written entries, and
-    corrupt or schema-mismatched entries read as misses.
+    rename) so interrupted runs never leave half-written entries.
+
+    Every entry carries a SHA-256 checksum over its metrics image,
+    verified on read: a torn, truncated, bit-flipped, or otherwise
+    corrupt entry is *quarantined* — moved to ``<root>/quarantine/``
+    with a ``.corrupt`` suffix — and read as a miss, so the sweep
+    recomputes the point transparently instead of crashing on (or
+    silently trusting) damaged bytes.  Entries from an older schema
+    read as plain misses without quarantine — they are honest
+    old-format files, not corruption.  ``strict=True`` raises
+    :class:`~repro.errors.CacheCorruptionError` instead of
+    quarantining (for tools that want to fail loudly).
     """
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: Union[str, Path], strict: bool = False):
         self.root = Path(root)
+        self.strict = strict
+        #: Every corrupt entry this instance has quarantined, in
+        #: detection order (the supervised executor reports these).
+        self.quarantine_log: List[QuarantineRecord] = []
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except (FileExistsError, NotADirectoryError) as exc:
@@ -271,24 +316,88 @@ class ResultCache:
         """Where *key*'s entry lives (whether or not it exists)."""
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved (may not exist yet)."""
+        return self.root / QUARANTINE_DIRNAME
+
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        """Move the corrupt entry at *path* aside (or raise in strict
+        mode) and log the incident."""
+        if self.strict:
+            raise CacheCorruptionError(
+                f"cache entry {path} is corrupt: {reason}", label=key)
+        destination: Optional[Path] = None
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            destination = self.quarantine_dir / f"{key}.corrupt"
+            n = 0
+            while destination.exists():
+                n += 1
+                destination = self.quarantine_dir / f"{key}.corrupt.{n}"
+            os.replace(path, destination)
+        except OSError:
+            # Quarantine is best-effort; a cache that cannot even move
+            # the entry still must not trust or crash on it.
+            destination = None
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self.quarantine_log.append(
+            QuarantineRecord(key=key, reason=reason, path=destination))
+
     def get(self, key: str) -> Optional[RunMetrics]:
-        """The cached metrics for *key*, or None on any kind of miss."""
+        """The cached metrics for *key*, or None on any kind of miss.
+
+        A missing entry is a plain miss; an unreadable, unparseable,
+        checksum-mismatched, or malformed entry is quarantined first
+        (see the class docstring) and then misses.
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if entry.get("schema") != CACHE_SCHEMA:
-                return None
+                raw = handle.read()
+        except OSError:
+            return None
+        except ValueError:  # UnicodeDecodeError: not even text
+            self._quarantine(path, key, "undecodable bytes")
+            return None
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not an object")
+        except ValueError:
+            self._quarantine(path, key, "unparseable JSON "
+                                        "(torn or truncated write)")
+            return None
+        schema = entry.get("schema")
+        if schema != CACHE_SCHEMA:
+            if isinstance(schema, int) and 0 < schema < CACHE_SCHEMA \
+                    and "metrics" in entry:
+                return None  # honest old-format entry: miss, re-run
+            self._quarantine(path, key, f"unrecognized schema {schema!r}")
+            return None
+        stored = entry.get("checksum")
+        if "metrics" not in entry or \
+                stored != _entry_checksum(entry["metrics"]):
+            self._quarantine(path, key, "checksum mismatch "
+                                        "(bit-flip or partial write)")
+            return None
+        try:
             return metrics_from_jsonable(entry["metrics"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(path, key, "malformed metrics payload")
             return None
 
     def put(self, key: str, metrics: RunMetrics) -> None:
-        """Store *metrics* under *key*, atomically."""
+        """Store *metrics* under *key*, atomically, with its checksum."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(
-            {"schema": CACHE_SCHEMA, "metrics": metrics_to_jsonable(metrics)})
+        image = metrics_to_jsonable(metrics)
+        payload = json.dumps({"schema": CACHE_SCHEMA,
+                              "checksum": _entry_checksum(image),
+                              "metrics": image})
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -302,6 +411,7 @@ class ResultCache:
             raise
 
     def __len__(self) -> int:
+        # Quarantined files end in .corrupt, so they never count here.
         return sum(1 for _ in self.root.glob("*/*.json"))
 
 
@@ -321,6 +431,14 @@ class ExecutorStats:
     #: Simulator events executed across all fresh runs (0 on a fully
     #: cached re-run — the "no simulation happened" witness).
     events_executed: int = 0
+    #: Points that permanently failed (every attempt exhausted).
+    points_failed: int = 0
+    #: Extra attempts made beyond each point's first (supervised runs).
+    points_retried: int = 0
+    #: Points served from a previous run's progress ledger (--resume).
+    points_resumed: int = 0
+    #: Corrupt cache entries quarantined while serving lookups.
+    points_quarantined: int = 0
 
     def reset(self) -> None:
         """Zero every tally (fresh measurement window)."""
@@ -328,6 +446,10 @@ class ExecutorStats:
         self.points_run = 0
         self.points_cached = 0
         self.events_executed = 0
+        self.points_failed = 0
+        self.points_retried = 0
+        self.points_resumed = 0
+        self.points_quarantined = 0
 
 
 def _execute_spec(spec: PointSpec) -> Tuple[RunMetrics, int]:
@@ -381,30 +503,40 @@ class SweepExecutor:
                        if callback is not None]
 
         def emit(kind: str, i: int, metrics: Optional[RunMetrics] = None,
-                 error: Optional[str] = None) -> None:
+                 error: Optional[str] = None, attempts: int = 0) -> None:
             if not subscribers:
                 return
             self._seq += 1
             event = PointEvent(
                 kind=kind, seq=self._seq, batch=batch, index=i,
                 total=len(specs), label=specs[i].label,
-                rate_rps=specs[i].rate_rps, metrics=metrics, error=error)
+                rate_rps=specs[i].rate_rps, metrics=metrics, error=error,
+                attempts=attempts)
             for callback in subscribers:
                 callback(event)
 
         results: List[Optional[RunMetrics]] = [None] * len(specs)
         misses: List[int] = []
         keys: List[Optional[str]] = [None] * len(specs)
+        quarantined_before = (len(self.cache.quarantine_log)
+                              if self.cache is not None else 0)
         for i, spec in enumerate(specs):
             key = spec_cache_key(spec) if self.cache is not None else None
             keys[i] = key
             hit = self.cache.get(key) if key is not None else None
+            if hit is None:
+                hit = self._lookup_resume(spec, key)
+                if hit is not None:
+                    self.stats.points_resumed += 1
             if hit is not None:
                 results[i] = hit
                 self.stats.points_cached += 1
                 emit(CACHE_HIT, i, metrics=hit)
             else:
                 misses.append(i)
+        if self.cache is not None:
+            self.stats.points_quarantined += \
+                len(self.cache.quarantine_log) - quarantined_before
 
         def record(batch_index: int, outcome: Tuple[RunMetrics, int]) -> None:
             i = misses[batch_index]
@@ -420,7 +552,10 @@ class SweepExecutor:
             emit(STARTED, misses[batch_index])
 
         def failed(batch_index: int, error: BaseException) -> None:
-            emit(FAILED, misses[batch_index], error=str(error))
+            # Typed SweepPointErrors carry their attempt count into the
+            # event stream; raw exceptions report 0 ("not tracked").
+            emit(FAILED, misses[batch_index], error=str(error),
+                 attempts=getattr(error, "attempts", 0))
 
         if misses:
             self._run_specs([specs[i] for i in misses], record,
@@ -430,6 +565,16 @@ class SweepExecutor:
     def run_point(self, spec: PointSpec) -> RunMetrics:
         """Convenience wrapper for a single point."""
         return self.run_points([spec])[0]
+
+    def _lookup_resume(self, spec: PointSpec,
+                       key: Optional[str]) -> Optional[RunMetrics]:
+        """A completed result for *spec* from a previous interrupted run.
+
+        The base executor has no resume source; the supervised executor
+        overrides this to serve points out of a replayed progress
+        ledger (and repair the cache entry under *key* while at it).
+        """
+        return None
 
     def _run_specs(self, specs: Sequence[PointSpec],
                    record: Callable[[int, Tuple[RunMetrics, int]], None],
@@ -457,12 +602,37 @@ class SerialExecutor(SweepExecutor):
     """The historical behavior: every point in this process, in order."""
 
 
+def _wrap_point_failure(spec: PointSpec,
+                        cause: BaseException) -> SweepPointError:
+    """*cause* as a typed :class:`~repro.errors.SweepPointError`.
+
+    Worker-pool breakage (a killed or segfaulted process) classifies as
+    a crash; anything the point's own code raised as an execution
+    error.  Already-typed errors pass through untouched.
+    """
+    if isinstance(cause, SweepPointError):
+        return cause
+    crashed = isinstance(cause, concurrent.futures.process.BrokenProcessPool)
+    cls = PointCrashError if crashed else PointExecutionError
+    return cls(str(cause) or type(cause).__name__, label=spec.label,
+               rate_rps=spec.rate_rps, attempts=1, config=spec.config,
+               cause=cause)
+
+
 class ParallelExecutor(SweepExecutor):
     """Fan points across worker processes; results stay in spec order.
 
     Specs that cannot be pickled (closure factories, ad-hoc callables)
     transparently run in the parent process instead — parallelism is an
     optimization, never a constraint on what callers may pass.
+
+    A point whose run raises no longer tears down the whole batch: the
+    failure is wrapped in a typed :class:`~repro.errors.SweepPointError`
+    (system label, point config, attempt count, cause), emitted as a
+    ``failed`` progress event, and every *other* point still completes
+    and lands in the cache before the first failure is re-raised — so
+    a re-run pays only for the failed point.  (KeyboardInterrupt and
+    other non-``Exception`` interrupts still abort immediately.)
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -489,6 +659,14 @@ class ParallelExecutor(SweepExecutor):
                    failed: Optional[Callable[[int, BaseException], None]] = None,
                    ) -> None:
         remote = [i for i, spec in enumerate(specs) if self._picklable(spec)]
+        failures: List[SweepPointError] = []
+
+        def fail(i: int, cause: BaseException) -> None:
+            error = _wrap_point_failure(specs[i], cause)
+            failures.append(error)
+            self.stats.points_failed += 1
+            if failed is not None:
+                failed(i, error)
 
         def run_local(i: int) -> None:
             if started is not None:
@@ -496,9 +674,8 @@ class ParallelExecutor(SweepExecutor):
             try:
                 outcome = _execute_spec(specs[i])
             except Exception as exc:
-                if failed is not None:
-                    failed(i, exc)
-                raise
+                fail(i, exc)
+                return
             record(i, outcome)
 
         if len(remote) > 1 and self.jobs > 1:
@@ -516,17 +693,18 @@ class ParallelExecutor(SweepExecutor):
                     try:
                         outcome = future.result()
                     except Exception as exc:
-                        if failed is not None:
-                            failed(futures[future], exc)
-                        raise
+                        # A failed point is recorded, not fatal: the
+                        # remaining futures drain (and cache) first.
+                        fail(futures[future], exc)
+                        continue
                     record(futures[future], outcome)
                 pool.shutdown(wait=True)
             except BaseException:
-                # On Ctrl-C (or a worker crash) don't join interrupted
-                # workers — shutdown(wait=True) can hang forever; drop
-                # pending work and surface the interrupt immediately.
-                # Every completed point has already been recorded (and
-                # cached), so a re-run resumes from them.
+                # On Ctrl-C (or pool-wide breakage) don't join
+                # interrupted workers — shutdown(wait=True) can hang
+                # forever; drop pending work and surface the interrupt
+                # immediately.  Every completed point has already been
+                # recorded (and cached), so a re-run resumes from them.
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
         else:
@@ -537,11 +715,17 @@ class ParallelExecutor(SweepExecutor):
         for i in range(len(specs)):
             if i not in fanned_out:
                 run_local(i)
+        if failures:
+            raise failures[0]
 
 
 def make_executor(jobs: int = 1,
                   cache_dir: Optional[Union[str, Path]] = None,
                   on_event: Optional[ProgressCallback] = None,
+                  supervised: bool = False,
+                  point_timeout_s: Optional[float] = None,
+                  max_retries: Optional[int] = None,
+                  resume_from: Optional[Any] = None,
                   ) -> SweepExecutor:
     """Build the executor the CLI/benches ask for.
 
@@ -549,8 +733,26 @@ def make_executor(jobs: int = 1,
     :class:`ParallelExecutor`.  ``cache_dir`` (optional) enables the
     on-disk result cache in either case, and ``on_event`` (optional)
     subscribes a progress callback to every sweep the executor runs.
+
+    Any supervision knob — ``supervised``, a per-point wall-clock
+    deadline ``point_timeout_s``, a retry budget ``max_retries``, or a
+    replayed ledger ``resume_from`` — selects the crash-safe
+    :class:`~repro.experiments.supervise.SupervisedExecutor` instead
+    (results stay bit-identical in every case).
     """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    if supervised or point_timeout_s is not None \
+            or max_retries is not None or resume_from is not None:
+        from repro.experiments.supervise import (
+            DEFAULT_MAX_RETRIES,
+            SupervisedExecutor,
+        )
+        return SupervisedExecutor(
+            jobs=jobs, cache=cache, on_event=on_event,
+            point_timeout_s=point_timeout_s,
+            max_retries=(DEFAULT_MAX_RETRIES if max_retries is None
+                         else max_retries),
+            resume_from=resume_from)
     if jobs <= 1:
         return SerialExecutor(cache=cache, on_event=on_event)
     return ParallelExecutor(jobs=jobs, cache=cache, on_event=on_event)

@@ -329,6 +329,15 @@ def load_sweep(factory: SystemFactory, rates_rps: Sequence[float],
         raise ExperimentError("empty rate list")
     all_metrics = _run_batch(factory, rates_rps, distribution, config,
                              system_name, executor, on_event=on_event)
+    if len(all_metrics) != len(rates_rps):
+        # A supervised executor with failure_policy="skip" can return
+        # fewer results than specs; a sweep's points are positional, so
+        # refuse to misattribute rates rather than zip silently short.
+        raise ExperimentError(
+            f"sweep for {system_name!r} returned {len(all_metrics)} "
+            f"result(s) for {len(rates_rps)} rates; points were "
+            f"dropped (failed points cannot be elided from a sweep — "
+            f"use failure_policy='raise' or re-run with --resume)")
     points = [SweepPoint(offered_rps=rate, metrics=metrics)
               for rate, metrics in zip(rates_rps, all_metrics)]
     return LoadSweepResult(system_name=system_name, points=points)

@@ -94,10 +94,23 @@ def render_t1(rows: Iterable[TableRow]) -> str:
 
 
 def render_executor_stats(stats: ExecutorStats, jobs: int = 1) -> str:
-    """One-line summary of where a run's points came from."""
-    return (f"[executor: jobs={jobs} points={stats.points_total} "
+    """One-line summary of where a run's points came from.
+
+    Supervision tallies (retries, failures, ledger-resumed points,
+    quarantined cache entries) are appended only when nonzero, so an
+    undisturbed run renders exactly as it always has.
+    """
+    line = (f"[executor: jobs={jobs} points={stats.points_total} "
             f"run={stats.points_run} cached={stats.points_cached} "
-            f"events={stats.events_executed}]")
+            f"events={stats.events_executed}")
+    extras = [(label, value) for label, value in (
+        ("resumed", stats.points_resumed),
+        ("retried", stats.points_retried),
+        ("failed", stats.points_failed),
+        ("quarantined", stats.points_quarantined)) if value]
+    for label, value in extras:
+        line += f" {label}={value}"
+    return line + "]"
 
 
 def render_run(name: str, metrics: RunMetrics) -> str:

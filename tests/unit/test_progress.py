@@ -12,13 +12,16 @@ from repro.experiments.progress import (
     STARTED,
     SWEEP_DONE,
     ConsoleProgress,
+    LedgerReplay,
     PointEvent,
     ProgressLedger,
     SweepProgress,
+    clear_ledger,
     event_from_jsonable,
     event_to_jsonable,
     ledger_path,
     multiplex,
+    point_key,
     sweep_done_event,
 )
 from repro.metrics.summary import LatencySummary, RunMetrics, \
@@ -66,6 +69,21 @@ class TestPointEvent:
         assert back == event
         assert back.metrics is None and back.error == "boom"
 
+    def test_attempts_round_trip(self):
+        event = PointEvent(kind=FAILED, seq=1, batch=0, index=0, total=9,
+                           label="Shinjuku", rate_rps=100e3, error="boom",
+                           attempts=3)
+        back = event_from_jsonable(
+            json.loads(json.dumps(event_to_jsonable(event))))
+        assert back == event and back.attempts == 3
+
+    def test_attempts_default_for_old_ledger_lines(self):
+        # Pre-supervision ledgers have no attempts field; they must
+        # still deserialize (as "not tracked").
+        image = event_to_jsonable(_event(metrics=_metrics()))
+        del image["attempts"]
+        assert event_from_jsonable(image).attempts == 0
+
 
 class TestProgressLedger:
     def test_write_read_round_trip(self, tmp_path):
@@ -93,6 +111,97 @@ class TestProgressLedger:
     def test_ledger_path_helper(self, tmp_path):
         assert ledger_path(None) is None
         assert ledger_path(tmp_path).name == "progress.jsonl"
+
+    def test_rotation_at_size_cap(self, tmp_path):
+        first = ProgressLedger.in_cache_dir(tmp_path, max_bytes=10)
+        first(_event(seq=1, metrics=_metrics()))
+        first.close()
+        assert first.path.stat().st_size >= 10
+        second = ProgressLedger.in_cache_dir(tmp_path, max_bytes=10)
+        assert second.rotated
+        second(_event(seq=1, index=1, metrics=_metrics()))
+        second.close()
+        archive = ProgressLedger.rotated_path(second.path)
+        assert archive.exists()
+        assert len(ProgressLedger.read_events(archive)) == 1
+        assert len(ProgressLedger.read_events(second.path)) == 1
+
+    def test_no_rotation_under_cap(self, tmp_path):
+        first = ProgressLedger.in_cache_dir(tmp_path)
+        first(_event(seq=1, metrics=_metrics()))
+        first.close()
+        second = ProgressLedger.in_cache_dir(tmp_path)
+        second.close()
+        assert not second.rotated
+        assert not ProgressLedger.rotated_path(second.path).exists()
+
+    def test_clear_ledger_removes_archive_too(self, tmp_path):
+        ledger = ProgressLedger.in_cache_dir(tmp_path, max_bytes=10)
+        ledger(_event(seq=1, metrics=_metrics()))
+        ledger.close()
+        ProgressLedger.in_cache_dir(tmp_path, max_bytes=10).close()
+        assert ProgressLedger.rotated_path(ledger.path).exists()
+        clear_ledger(tmp_path)
+        assert not ledger.path.exists()
+        assert not ProgressLedger.rotated_path(ledger.path).exists()
+
+
+class TestLedgerReplay:
+    def test_replay_tolerates_missing_done_sentinel(self, tmp_path):
+        ledger = ProgressLedger.in_cache_dir(tmp_path)
+        ledger(_event(kind=STARTED, seq=1))
+        ledger(_event(kind=COMPLETED, seq=2, metrics=_metrics()))
+        ledger(_event(kind=STARTED, seq=3, index=1))
+        ledger.close()  # interrupted: no write_done()
+        replay = ProgressLedger.replay(ledger.path)
+        assert not replay.finished
+        assert replay.events_seen == 3
+        assert replay.lookup("Shinjuku", 100e3) == _metrics()
+        assert replay.lookup("Shinjuku", 999e3) is None
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        replay = ProgressLedger.replay(tmp_path / "nope.jsonl")
+        assert replay.completed == {} and not replay.finished
+
+    def test_replay_sees_done_sentinel(self, tmp_path):
+        ledger = ProgressLedger.in_cache_dir(tmp_path)
+        ledger(_event(kind=CACHE_HIT, seq=1, metrics=_metrics()))
+        ledger.write_done()
+        replay = ProgressLedger.replay(ledger.path)
+        assert replay.finished
+        assert len(replay.completed) == 1
+
+    def test_completion_wins_over_earlier_failure(self, tmp_path):
+        ledger = ProgressLedger.in_cache_dir(tmp_path)
+        ledger(_event(kind=FAILED, seq=1, error="flaky"))
+        ledger(_event(kind=COMPLETED, seq=2, metrics=_metrics()))
+        ledger(_event(kind=FAILED, seq=3, index=1, rate=200e3,
+                      error="permanent"))
+        ledger.close()
+        replay = ProgressLedger.replay(ledger.path)
+        assert replay.lookup("Shinjuku", 100e3) == _metrics()
+        assert point_key("Shinjuku", 100e3) not in replay.failed
+        assert replay.failed[point_key("Shinjuku", 200e3)] == "permanent"
+
+    def test_replay_spans_a_rotation(self, tmp_path):
+        first = ProgressLedger.in_cache_dir(tmp_path, max_bytes=10)
+        first(_event(seq=1, metrics=_metrics()))
+        first.close()
+        second = ProgressLedger.in_cache_dir(tmp_path, max_bytes=10)
+        second(_event(seq=2, index=1, rate=200e3,
+                      metrics=_metrics(achieved=190e3)))
+        second.close()
+        replay = ProgressLedger.replay(second.path)
+        assert len(replay.completed) == 2  # one archived, one current
+
+    def test_lookup_distinguishes_last_ulp_rates(self):
+        import math
+        rate = 100e3
+        nudged = math.nextafter(rate, rate + 1)
+        replay = LedgerReplay(completed={
+            point_key("sut", rate): _metrics()})
+        assert replay.lookup("sut", rate) is not None
+        assert replay.lookup("sut", nudged) is None
 
 
 class TestSweepProgress:
